@@ -1,0 +1,104 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// count model inside the estimators, Monte-Carlo search effort, bucket
+// strategies, and the KL smoothing epsilon's stand-in (profile width).
+// Companion experiments: `uuexp run abl-count|abl-mc|abl-bucket`.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/species"
+)
+
+func BenchmarkAblationCountModels(b *testing.B) {
+	s := benchSample(b)
+	for _, name := range species.Names() {
+		b.Run(name, func(b *testing.B) {
+			est := core.WithCountModel{Model: name}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if e := est.EstimateSum(s); !e.Valid {
+					b.Fatal("invalid")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationMCEffort(b *testing.B) {
+	s := benchSample(b)
+	for _, v := range []struct{ steps, runs int }{
+		{5, 1}, {10, 1}, {10, 3}, {20, 3},
+	} {
+		b.Run(fmt.Sprintf("steps=%d_runs=%d", v.steps, v.runs), func(b *testing.B) {
+			est := core.MonteCarlo{NSteps: v.steps, Runs: v.runs, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if e := est.EstimateSum(s); !e.Valid {
+					b.Fatal("invalid")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBucketStrategies(b *testing.B) {
+	s := benchSample(b)
+	strategies := []core.SumEstimator{
+		core.Bucket{Strategy: core.EquiWidth{K: 6}},
+		core.Bucket{Strategy: core.EquiHeight{K: 6}},
+		core.Bucket{}, // dynamic
+	}
+	for _, est := range strategies {
+		b.Run(est.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if e := est.EstimateSum(s); !e.Valid {
+					b.Fatal("invalid")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationExperiments(b *testing.B) {
+	for _, id := range []string{"abl-count", "abl-mc", "abl-bucket"} {
+		b.Run(id, func(b *testing.B) {
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				b.Fatalf("missing %s", id)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(experiments.Config{Seed: int64(i + 1), Quick: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBootstrap(b *testing.B) {
+	d := benchObservations(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Bootstrap(d, core.Naive{}, 50, 0.95, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchObservations(b *testing.B) []Observation {
+	b.Helper()
+	d, err := dataset.USTechEmployment(1, 500, 50, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Stream.Observations
+}

@@ -1,0 +1,149 @@
+// Command uuestimate reads a CSV observation file (entity,value,source —
+// the format cmd/uusim emits and any integration pipeline can produce),
+// optionally cleans it, and prints the full open-world analysis of the SUM
+// aggregate: every estimator's correction, the recommended estimate, the
+// upper bound, a bootstrap confidence interval and the engine's warnings.
+//
+// Usage:
+//
+//	uusim -n 100 -lambda 4 -rho 1 -sources 20 -per-source 15 | uuestimate
+//	uuestimate -file obs.csv -bootstrap 200
+//	uuestimate -file raw.csv -clean -fuzzy 1 -stopwords "inc,corp,llc"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/freqstats"
+	"repro/internal/quality"
+	"repro/internal/species"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uuestimate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "-", "CSV observation file ('-' for stdin)")
+	entityCol := flag.String("entity-col", "entity", "entity column name")
+	valueCol := flag.String("value-col", "value", "value column name")
+	sourceCol := flag.String("source-col", "source", "source column name")
+	clean := flag.Bool("clean", false, "run entity resolution / value fusion first")
+	fuzzy := flag.Int("fuzzy", 0, "fuzzy entity matching edit distance (with -clean)")
+	stopwords := flag.String("stopwords", "", "comma-separated label stopwords (with -clean)")
+	bootstrapReps := flag.Int("bootstrap", 100, "bootstrap replicates for the confidence interval (0 = skip)")
+	conf := flag.Float64("conf", 0.95, "bootstrap confidence level")
+	mcRuns := flag.Int("mc-runs", 3, "Monte-Carlo simulation runs per grid cell")
+	seed := flag.Int64("seed", 1, "RNG seed for MC and bootstrap")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	obs, err := csvio.ReadObservations(in, csvio.Options{
+		EntityColumn: *entityCol, ValueColumn: *valueCol, SourceColumn: *sourceCol,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input:      %d observations\n", len(obs))
+
+	if *clean {
+		raw := make([]quality.RawReport, len(obs))
+		for i, o := range obs {
+			raw[i] = quality.RawReport{Entity: o.EntityID, Value: o.Value, Source: o.Source}
+		}
+		var stop []string
+		if *stopwords != "" {
+			stop = strings.Split(*stopwords, ",")
+		}
+		cleaned, rep, err := quality.Clean(raw, quality.Options{
+			Fusion:          quality.FuseAverage,
+			MaxEditDistance: *fuzzy,
+			Stopwords:       stop,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cleaning:   %d merged labels, %d duplicate reports dropped, %d value conflicts fused\n",
+			rep.MergedLabels, rep.DuplicateReports, rep.ValueConflicts)
+		obs = cleaned
+	}
+
+	sample := freqstats.NewSample()
+	conflicts := 0
+	for _, o := range obs {
+		if err := sample.Add(o); err != nil {
+			conflicts++
+		}
+	}
+	if conflicts > 0 {
+		fmt.Printf("warning:    %d conflicting values (first value kept); consider -clean\n", conflicts)
+	}
+	cov, _ := species.Coverage(sample)
+	fmt.Printf("sample:     n=%d unique=%d sources=%d coverage=%.1f%%\n",
+		sample.N(), sample.C(), sample.NumSources(), cov*100)
+	fmt.Printf("observed:   SUM = %.4g\n\n", sample.SumValues())
+
+	ests := []core.SumEstimator{
+		core.Naive{},
+		core.Frequency{},
+		core.Bucket{},
+		core.MonteCarlo{Runs: *mcRuns, Seed: *seed},
+	}
+	type row struct {
+		name  string
+		est   core.Estimate
+		notes string
+	}
+	var rows []row
+	for _, e := range ests {
+		est := e.EstimateSum(sample)
+		notes := ""
+		if est.Diverged {
+			notes = "diverged"
+		} else if est.LowCoverage {
+			notes = "low coverage"
+		}
+		rows = append(rows, row{e.Name(), est, notes})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Printf("%-8s  %14s  %12s  %10s  %s\n", "estimator", "corrected SUM", "delta", "N-hat", "flags")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %14.4g  %12.4g  %10.1f  %s\n",
+			r.name, r.est.Estimated, r.est.Delta, r.est.CountEstimated, r.notes)
+	}
+
+	if b := (core.UpperBound{}).Bound(sample); b.Informative {
+		fmt.Printf("\nupper bound (99%%): true SUM <= %.4g\n", b.SumBound)
+	} else {
+		fmt.Println("\nupper bound: not yet informative (sample too small)")
+	}
+
+	if *bootstrapReps > 0 && sample.NumSources() >= 2 {
+		ci, err := core.Bootstrap(obs, core.Bucket{}, *bootstrapReps, *conf, *seed)
+		if err != nil {
+			fmt.Printf("bootstrap:  unavailable (%v)\n", err)
+		} else {
+			fmt.Printf("bootstrap:  %.0f%% interval for the bucket estimate: [%.4g, %.4g] (stderr %.3g)\n",
+				*conf*100, ci.Lo, ci.Hi, ci.StdErr)
+		}
+	}
+	return nil
+}

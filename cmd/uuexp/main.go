@@ -1,0 +1,160 @@
+// Command uuexp regenerates the figures and tables of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	uuexp list                 list all experiments
+//	uuexp run <id> [flags]     run one experiment (e.g. fig4, table2)
+//	uuexp all [flags]          run every experiment in order
+//
+// Flags:
+//
+//	-seed N      RNG seed (default 1)
+//	-reps N      override repetition count
+//	-points N    number of replay checkpoints
+//	-quick       reduced effort (for smoke runs)
+//	-chart       draw ASCII charts in addition to tables
+//	-format F    text (default), csv or md
+//	-parallel N  run experiments concurrently ('all' only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "uuexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "RNG seed")
+	reps := fs.Int("reps", 0, "repetition override (0 = experiment default)")
+	points := fs.Int("points", 0, "replay checkpoints (0 = default)")
+	quick := fs.Bool("quick", false, "reduced effort")
+	chart := fs.Bool("chart", false, "draw ASCII charts in addition to tables")
+	format := fs.String("format", "text", "output format: text, csv or md")
+	parallel := fs.Int("parallel", 1, "experiments to run concurrently (all command only)")
+
+	switch cmd {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Printf("         paper: %s\n", e.Paper)
+		}
+		return nil
+	case "run":
+		if len(rest) == 0 {
+			return fmt.Errorf("run: missing experiment id (try 'uuexp list')")
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'uuexp list')", id)
+		}
+		return runOne(e, experiments.Config{Seed: *seed, Reps: *reps, Points: *points, Quick: *quick}, *chart, *format)
+	case "all":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		cfg := experiments.Config{Seed: *seed, Reps: *reps, Points: *points, Quick: *quick}
+		return runAll(cfg, *chart, *format, *parallel)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// runAll executes every experiment, optionally overlapping their
+// computation. Output stays in registry order regardless of completion
+// order: each experiment renders into a buffer that is printed in
+// sequence.
+func runAll(cfg experiments.Config, chart bool, format string, parallel int) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	all := experiments.All()
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	outcomes := make([]outcome, len(all))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, e := range all {
+		wg.Add(1)
+		go func(i int, e experiments.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := e.Run(cfg)
+			outcomes[i] = outcome{res: res, err: err}
+		}(i, e)
+	}
+	wg.Wait()
+	for i, e := range all {
+		if outcomes[i].err != nil {
+			return fmt.Errorf("%s: %w", e.ID, outcomes[i].err)
+		}
+		if err := emit(outcomes[i].res, chart, format); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runOne(e experiments.Experiment, cfg experiments.Config, chart bool, format string) error {
+	res, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return emit(res, chart, format)
+}
+
+func emit(res *experiments.Result, chart bool, format string) error {
+	switch format {
+	case "", "text":
+		if err := experiments.Render(os.Stdout, res); err != nil {
+			return err
+		}
+	case "csv":
+		if err := experiments.ExportCSV(os.Stdout, res); err != nil {
+			return err
+		}
+	case "md":
+		if err := experiments.ExportMarkdown(os.Stdout, res); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or md)", format)
+	}
+	if chart {
+		return experiments.RenderChart(os.Stdout, res)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  uuexp list
+  uuexp run <id> [-seed N] [-reps N] [-points N] [-quick] [-chart] [-format text|csv|md]
+  uuexp all [-seed N] [-reps N] [-points N] [-quick] [-chart] [-format text|csv|md] [-parallel N]`)
+}

@@ -1,0 +1,74 @@
+// Cleaning: from messy raw reports to an unknown-unknowns estimate.
+//
+// The estimation model assumes cleaned input: one instance per entity,
+// exact observation counts per source (paper Section 2). Real crowd
+// answers are messier — different spellings, decorations ("Inc."),
+// disagreeing values, repeated reports. This example runs the quality
+// pipeline (entity resolution with normalization + fuzzy matching, value
+// fusion, per-source dedup) and shows how cleaning changes the estimate.
+//
+// Run with: go run ./examples/cleaning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/quality"
+)
+
+func main() {
+	// Raw reports as a crowd might actually type them.
+	raw := []quality.RawReport{
+		{Entity: "Google, Inc.", Value: 139995, Source: "worker-01"},
+		{Entity: "GOOGLE", Value: 139995, Source: "worker-02"},
+		{Entity: "Googel", Value: 140100, Source: "worker-03"}, // typo + different value
+		{Entity: "Microsoft Corp", Value: 221000, Source: "worker-01"},
+		{Entity: "microsoft", Value: 221000, Source: "worker-04"},
+		{Entity: "Stripe", Value: 8000, Source: "worker-02"},
+		{Entity: "Stripe", Value: 8000, Source: "worker-02"}, // same worker repeats
+		{Entity: "HashiCorp", Value: 2100, Source: "worker-03"},
+		{Entity: "Tiny Startup LLC", Value: 12, Source: "worker-04"},
+	}
+
+	// Without cleaning: feed raw labels straight in. Spelling variants
+	// masquerade as distinct companies, inflating the unique count and the
+	// singleton statistics the estimators key on.
+	dirty := repro.NewCollector()
+	for _, r := range raw {
+		_ = dirty.Observe(r.Entity, r.Value, r.Source) // conflicts expected
+	}
+	fmt.Printf("uncleaned:  %d observations, %d 'unique' companies\n", dirty.N(), dirty.UniqueEntities())
+
+	// With cleaning.
+	cleaned, report, err := quality.Clean(raw, quality.Options{
+		Fusion:          quality.FuseAverage,
+		MaxEditDistance: 2,
+		Stopwords:       []string{"inc", "corp", "llc"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cleaning:   %d labels merged, %d duplicate reports dropped, %d value conflicts fused\n",
+		report.MergedLabels, report.DuplicateReports, report.ValueConflicts)
+
+	c := repro.NewCollector()
+	for _, o := range cleaned {
+		if err := c.Observe(o.EntityID, o.Value, o.Source); err != nil {
+			log.Fatal(err) // cleaned input never conflicts
+		}
+	}
+	fmt.Printf("cleaned:    %d observations, %d unique companies\n\n", c.N(), c.UniqueEntities())
+
+	for _, col := range []struct {
+		name string
+		c    *repro.Collector
+	}{{"uncleaned", dirty}, {"cleaned", c}} {
+		est := col.c.EstimateSum()
+		fmt.Printf("%-10s observed SUM = %9.0f, corrected = %9.0f (N-hat = %.1f, coverage %.0f%%)\n",
+			col.name+":", est.Observed, est.Estimated, est.CountEstimated, est.Coverage*100)
+	}
+	fmt.Println("\nthe uncleaned run inflates both the observed sum (double-counted variants)")
+	fmt.Println("and the unknown-unknowns estimate (spurious singletons).")
+}

@@ -1,0 +1,55 @@
+// Gdpstreaker: why the Monte-Carlo estimator exists.
+//
+// A crowd enumerates the 50 U.S. states with their GDP — but one overly
+// ambitious worker (a "streaker", Section 6.3) floods the sample with
+// almost every state right at the start. Every Chao92-based estimator
+// misreads the resulting pile of singletons as evidence of a huge unseen
+// population; only the Monte-Carlo estimator, which simulates the actual
+// per-source sampling process, stays calm.
+//
+// Run with: go run ./examples/gdpstreaker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	d, err := dataset.USGDP(1, 30, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := d.TruthSum()
+	fmt.Printf("ground truth: 50 states, total GDP %.0f $B\n", truth)
+	fmt.Printf("the first worker is a streaker contributing ~50 answers in a row\n\n")
+
+	c := repro.NewCollector()
+	fmt.Printf("%8s  %8s  %12s  %12s  %12s\n", "answers", "states", "observed", "naive", "monte-carlo")
+	for i, obs := range d.Stream.Observations {
+		if err := c.Observe(obs.EntityID, obs.Value, obs.Source); err != nil {
+			log.Fatal(err)
+		}
+		k := i + 1
+		if k%40 != 0 && k != d.Stream.Len() {
+			continue
+		}
+		naive, err := c.EstimateSumWith(repro.EstimatorNaive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc, err := c.EstimateSumWith(repro.EstimatorMonteCarlo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %8d  %12.0f  %12.0f  %12.0f\n",
+			k, c.UniqueEntities(), naive.Observed, naive.Estimated, mc.Estimated)
+	}
+
+	fmt.Printf("\nafter the streaker, the observed sum is already ~complete;\n")
+	fmt.Printf("naive misreads the singleton pile, MC explains it by simulation.\n")
+	fmt.Printf("ground truth: %.0f\n", truth)
+}

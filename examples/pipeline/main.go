@@ -1,0 +1,79 @@
+// Pipeline: a realistic end-to-end workflow.
+//
+//  1. A data-integration pipeline lands observations in a CSV file
+//     (entity,value,source — here generated in-memory by the simulator,
+//     the same format cmd/uusim emits).
+//  2. The analyst streams it through a Tracker and stops ingesting once the
+//     estimate converges ("can I stop paying for more crowd answers?").
+//  3. A source-level bootstrap quantifies the remaining uncertainty of the
+//     corrected SUM.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// --- 1. The "landed" CSV file. ---
+	d, err := dataset.USTechEmployment(21, 400, 60, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var file bytes.Buffer
+	if err := repro.WriteObservationsCSV(&file, d.Stream.Observations, repro.CSVOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("landed CSV: %d bytes, %d observations (hidden truth SUM = %.0f)\n\n",
+		file.Len(), d.Stream.Len(), d.TruthSum())
+
+	// --- 2. Stream through a tracker until converged. ---
+	obs, err := repro.ReadObservationsCSV(&file, repro.CSVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker, err := repro.NewTracker(repro.EstimatorBucket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker.Interval = 50
+
+	stoppedAt := len(obs)
+	for i, o := range obs {
+		if err := tracker.Add(o); err != nil {
+			log.Fatal(err) // unclean input: entity resolution failed upstream
+		}
+		if (i+1)%100 == 0 {
+			est := tracker.Estimate()
+			fmt.Printf("after %4d answers: observed %9.0f, corrected %9.0f, coverage %3.0f%%\n",
+				i+1, est.Observed, est.Estimated, est.Coverage*100)
+		}
+		if tracker.Converged(0.03) {
+			stoppedAt = i + 1
+			fmt.Printf("\nconverged after %d answers (last estimates within 3%%)\n", stoppedAt)
+			break
+		}
+	}
+	final := tracker.Estimate()
+	fmt.Printf("final corrected SUM: %.0f (truth %.0f, error %+.1f%%)\n",
+		final.Estimated, d.TruthSum(), 100*(final.Estimated-d.TruthSum())/d.TruthSum())
+
+	// --- 3. Bootstrap confidence interval over the ingested prefix. ---
+	ci, err := repro.BootstrapSum(obs[:stoppedAt], repro.EstimatorBucket, 60, 0.90, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("90%% bootstrap interval: [%.0f, %.0f] (stderr %.0f, %d replicates)\n",
+		ci.Lo, ci.Hi, ci.StdErr, len(ci.Replicates))
+	if d.TruthSum() >= ci.Lo && d.TruthSum() <= ci.Hi {
+		fmt.Println("the hidden truth falls inside the interval")
+	} else {
+		fmt.Println("the hidden truth falls outside the interval (estimator bias dominates)")
+	}
+}

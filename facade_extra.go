@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/freqstats"
+	"repro/internal/species"
+)
+
+// Observation is a single (entity, value, source) data item at the public
+// API surface.
+type Observation = freqstats.Observation
+
+// BootstrapResult mirrors core.BootstrapResult.
+type BootstrapResult = core.BootstrapResult
+
+// CSVOptions configures CSV column mapping for LoadCSV / ObserveCSV.
+type CSVOptions = csvio.Options
+
+// BootstrapSum quantifies the uncertainty of a SUM estimate by resampling
+// data sources with replacement (the independent unit of the paper's
+// integration model) and returning a percentile confidence interval.
+// obs must be the raw observation stream; conf is e.g. 0.95.
+func BootstrapSum(obs []Observation, kind EstimatorKind, reps int, conf float64, seed int64) (BootstrapResult, error) {
+	c := Collector{}
+	est, err := c.estimator(kind)
+	if err != nil {
+		return BootstrapResult{}, err
+	}
+	return core.Bootstrap(obs, est, reps, conf, seed)
+}
+
+// Tracker maintains an online estimate over a stream of observations and
+// answers "has the estimate converged — can I stop collecting?". See
+// core.Tracker for knobs; this constructor wires the named estimator.
+func NewTracker(kind EstimatorKind) (*core.Tracker, error) {
+	c := Collector{}
+	est, err := c.estimator(kind)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewTracker(est), nil
+}
+
+// ObserveCSV feeds a CSV observation file (header: entity,value,source,
+// remappable via opts) into the collector. It returns the number of value
+// conflicts encountered (unclean input rows that still counted with their
+// first-seen value).
+func (c *Collector) ObserveCSV(r io.Reader, opts CSVOptions) (int, error) {
+	obs, err := csvio.ReadObservations(r, opts)
+	if err != nil {
+		return 0, err
+	}
+	c.ensure()
+	conflicts := 0
+	for _, o := range obs {
+		if err := c.sample.Add(o); err != nil {
+			conflicts++
+		}
+	}
+	return conflicts, nil
+}
+
+// QuantileResult mirrors core.QuantileResult.
+type QuantileResult = core.QuantileResult
+
+// CountInterval mirrors species.CountInterval: a Chao87 log-normal
+// confidence interval on the number of unique entities in the ground
+// truth.
+type CountInterval = species.CountInterval
+
+// CountConfidenceInterval returns the Chao87 confidence interval on the
+// ground-truth unique-entity count at the given z score (1.96 for 95%).
+func (c *Collector) CountConfidenceInterval(z float64) CountInterval {
+	c.ensure()
+	return species.Chao84Interval(c.sample, z)
+}
+
+// EstimateMedian estimates the ground-truth MEDIAN (an extension beyond
+// the paper's aggregates; Section 8 lists richer aggregates as future
+// work) using the bucket machinery.
+func (c *Collector) EstimateMedian() (QuantileResult, error) {
+	c.ensure()
+	return core.MedianEstimate(core.Bucket{}, c.sample)
+}
+
+// EstimateQuantile estimates an arbitrary ground-truth quantile q in
+// [0, 1].
+func (c *Collector) EstimateQuantile(q float64) (QuantileResult, error) {
+	c.ensure()
+	return core.QuantileEstimate(core.Bucket{}, c.sample, q)
+}
+
+// Merge folds another collector's observations into this one — the
+// distributed-ingestion pattern: shard the stream by source, collect per
+// shard, merge. Sharding by anything other than source double-counts
+// overlap (see freqstats.Sample.Merge). Value conflicts are reported but
+// still counted with the first value.
+func (c *Collector) Merge(other *Collector) error {
+	c.ensure()
+	other.ensure()
+	return c.sample.Merge(other.sample)
+}
+
+// ReadObservationsCSV parses a CSV observation file into a slice, for use
+// with BootstrapSum or custom pipelines.
+func ReadObservationsCSV(r io.Reader, opts CSVOptions) ([]Observation, error) {
+	return csvio.ReadObservations(r, opts)
+}
+
+// WriteObservationsCSV writes an observation stream as CSV.
+func WriteObservationsCSV(w io.Writer, obs []Observation, opts CSVOptions) error {
+	return csvio.WriteObservations(w, obs, opts)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func integratedSample(t *testing.T, cfg sim.Config, sources, size, prefix int, seed int64) (*freqstats.Sample, *sim.GroundTruth) {
+	t.Helper()
+	g, err := sim.NewGroundTruth(randx.New(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(seed+500), g, sim.IntegrationConfig{
+		NumSources: sources, SourceSize: size, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Prefix(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestCountEstimateChao(t *testing.T) {
+	s := toyBefore(t)
+	est := CountEstimate(Naive{}, s)
+	if !est.Valid {
+		t.Fatalf("flags: %+v", est)
+	}
+	if est.Observed != 3 {
+		t.Errorf("observed count = %g, want 3", est.Observed)
+	}
+	// N-hat = 3.5 + (7/6)(1/6) = 3.69444; Delta = N-hat - c.
+	want := 3.5 + (7.0/6.0)*(1.0/6.0) - 3
+	if math.Abs(est.Delta-want) > 1e-9 {
+		t.Errorf("count Delta = %g, want %g", est.Delta, want)
+	}
+	if est.Estimated != est.Observed+est.Delta {
+		t.Errorf("estimated %g != observed+delta", est.Estimated)
+	}
+}
+
+func TestCountEstimateEmpty(t *testing.T) {
+	for _, est := range []SumEstimator{Naive{}, Bucket{}, MonteCarlo{Runs: 1}} {
+		if e := CountEstimate(est, freqstats.NewSample()); e.Valid {
+			t.Errorf("%s: empty sample valid", est.Name())
+		}
+	}
+}
+
+func TestCountEstimateBucketAndMC(t *testing.T) {
+	s, g := integratedSample(t, sim.Config{N: 100, Lambda: 1, Rho: 1}, 20, 15, 250, 1)
+	for _, est := range []SumEstimator{Bucket{}, MonteCarlo{Runs: 2, Seed: 3}} {
+		e := CountEstimate(est, s)
+		if !e.Valid {
+			t.Fatalf("%s: %+v", est.Name(), e)
+		}
+		if e.Estimated < float64(s.C())-1e-9 {
+			t.Errorf("%s: estimated count %g below observed %d", est.Name(), e.Estimated, s.C())
+		}
+		if e.Estimated > 3*float64(g.N()) {
+			t.Errorf("%s: estimated count %g wildly above truth %d", est.Name(), e.Estimated, g.N())
+		}
+	}
+}
+
+func TestAvgEstimatePlainIsObserved(t *testing.T) {
+	s := toyBefore(t)
+	est := AvgEstimate(Naive{}, s)
+	if !est.Valid {
+		t.Fatalf("flags: %+v", est)
+	}
+	wantObs := 13000.0 / 3
+	if math.Abs(est.Observed-wantObs) > 1e-9 {
+		t.Errorf("observed AVG = %g, want %g", est.Observed, wantObs)
+	}
+	// Mean substitution leaves AVG unchanged.
+	if est.Delta != 0 || est.Estimated != est.Observed {
+		t.Errorf("plain AVG should be uncorrected: %+v", est)
+	}
+}
+
+func TestAvgEstimateEmpty(t *testing.T) {
+	if e := AvgEstimate(Naive{}, freqstats.NewSample()); e.Valid {
+		t.Error("empty sample valid")
+	}
+	if e := AvgEstimate(Bucket{}, freqstats.NewSample()); e.Valid {
+		t.Error("empty sample valid for bucket")
+	}
+}
+
+// Figure 7(d): under publicity-value correlation the observed AVG is
+// biased upward; the bucket-corrected AVG should move toward the truth.
+func TestAvgEstimateBucketCorrectsBias(t *testing.T) {
+	var obsErr, corrErr float64
+	const reps = 10
+	for seed := int64(0); seed < reps; seed++ {
+		s, g := integratedSample(t, sim.Config{N: 100, Lambda: 4, Rho: 1}, 20, 15, 200, seed)
+		est := AvgEstimate(Bucket{}, s)
+		if !est.Valid {
+			t.Fatal("invalid estimate")
+		}
+		truth := g.Avg()
+		obsErr += math.Abs(est.Observed - truth)
+		corrErr += math.Abs(est.Estimated - truth)
+	}
+	if corrErr >= obsErr {
+		t.Errorf("bucket AVG error %.1f not below observed AVG error %.1f",
+			corrErr/reps, obsErr/reps)
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	if r := MinEstimate(Bucket{}, freqstats.NewSample()); r.Valid {
+		t.Error("empty sample valid for MIN")
+	}
+	if r := MaxEstimate(Bucket{}, freqstats.NewSample()); r.Valid {
+		t.Error("empty sample valid for MAX")
+	}
+}
+
+func TestMinMaxObservedValues(t *testing.T) {
+	s := toyBefore(t)
+	minR := MinEstimate(Bucket{}, s)
+	maxR := MaxEstimate(Bucket{}, s)
+	if !minR.Valid || !maxR.Valid {
+		t.Fatal("invalid results")
+	}
+	if minR.Observed != 1000 {
+		t.Errorf("observed MIN = %g, want 1000", minR.Observed)
+	}
+	if maxR.Observed != 10000 {
+		t.Errorf("observed MAX = %g, want 10000", maxR.Observed)
+	}
+}
+
+// With a complete, well-covered sample the extremes must be trusted; with
+// a sparse singleton-riddled sample they must not be.
+func TestMinMaxTrustCalibration(t *testing.T) {
+	// Complete sample: every entity of a small truth observed 3 times.
+	g, err := sim.NewGroundTruth(randx.New(2), sim.Config{N: 30, Lambda: 1, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.SuccessiveExhaustive(g, 3)
+	s, err := st.Prefix(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := MaxEstimate(Bucket{}, s); !r.Trusted {
+		t.Errorf("complete sample MAX not trusted: %+v", r)
+	}
+	if r := MinEstimate(Bucket{}, s); !r.Trusted {
+		t.Errorf("complete sample MIN not trusted: %+v", r)
+	}
+
+	// Sparse early sample: nothing should be trusted.
+	s2, _ := integratedSample(t, sim.Config{N: 100, Lambda: 4, Rho: 1}, 20, 15, 30, 3)
+	minR := MinEstimate(Bucket{}, s2)
+	// With rho=1 the low-value tail is undersampled: the minimum must not
+	// be trusted this early.
+	if minR.Trusted {
+		t.Errorf("sparse sample MIN trusted too early: %+v", minR)
+	}
+}
+
+// Once MAX is trusted, the reported value should (almost always) be the
+// true maximum — the Figure 7(e) property.
+func TestMaxTrustedIsTrue(t *testing.T) {
+	correct, reported := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		s, g := integratedSample(t, sim.Config{N: 100, Lambda: 1, Rho: 1}, 20, 15, 280, seed)
+		r := MaxEstimate(Bucket{}, s)
+		if !r.Trusted {
+			continue
+		}
+		reported++
+		if r.Observed == g.Max() {
+			correct++
+		}
+	}
+	if reported == 0 {
+		t.Fatal("MAX never trusted across 20 runs at n=280")
+	}
+	if float64(correct)/float64(reported) < 0.9 {
+		t.Errorf("trusted MAX correct only %d/%d times", correct, reported)
+	}
+}

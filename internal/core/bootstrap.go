@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// BootstrapResult is a resampling-based uncertainty quantification for an
+// unknown-unknowns estimate.
+type BootstrapResult struct {
+	// Point is the estimate on the original sample.
+	Point Estimate
+	// Lo and Hi are the percentile confidence interval bounds on the
+	// corrected aggregate (Estimated).
+	Lo, Hi float64
+	// StdErr is the bootstrap standard error of the corrected aggregate.
+	StdErr float64
+	// Replicates holds the corrected aggregate of every bootstrap
+	// replicate (diverged/invalid replicates excluded), sorted ascending.
+	Replicates []float64
+}
+
+// Bootstrap quantifies the sampling uncertainty of a SUM estimator by
+// resampling data sources with replacement — the source, not the
+// observation, is the independent unit in the paper's integration model
+// (Section 2.2), so source-level resampling preserves the within-source
+// "without replacement" structure that the estimators key on.
+//
+// obs is the raw observation stream (the estimators' Sample cannot be
+// resampled because it has already aggregated away the per-source entity
+// lists). conf is the two-sided confidence level, e.g. 0.95. reps
+// bootstrap replicates are drawn; 200 is plenty for interval endpoints.
+//
+// The returned interval is a percentile interval. Replicates where the
+// estimator is invalid or diverged are dropped; an error is returned if
+// fewer than half survive (the estimate is too unstable to interval).
+func Bootstrap(obs []freqstats.Observation, est SumEstimator, reps int, conf float64, seed int64) (BootstrapResult, error) {
+	if len(obs) == 0 {
+		return BootstrapResult{}, fmt.Errorf("core: bootstrap needs observations")
+	}
+	if reps < 10 {
+		return BootstrapResult{}, fmt.Errorf("core: bootstrap needs at least 10 replicates, got %d", reps)
+	}
+	if conf <= 0 || conf >= 1 {
+		return BootstrapResult{}, fmt.Errorf("core: bootstrap confidence %g outside (0, 1)", conf)
+	}
+
+	bySource := map[string][]freqstats.Observation{}
+	var sources []string
+	for _, o := range obs {
+		if _, seen := bySource[o.Source]; !seen {
+			sources = append(sources, o.Source)
+		}
+		bySource[o.Source] = append(bySource[o.Source], o)
+	}
+	if len(sources) < 2 {
+		return BootstrapResult{}, fmt.Errorf("core: bootstrap needs at least 2 sources, got %d", len(sources))
+	}
+
+	orig := freqstats.NewSample()
+	for _, o := range obs {
+		// Conflicting values were already reported at collection time;
+		// bootstrap replicates keep the first value silently.
+		_ = orig.Add(o)
+	}
+	point := est.EstimateSum(orig)
+
+	rng := randx.New(seed)
+	replicates := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		s := freqstats.NewSample()
+		for k := 0; k < len(sources); k++ {
+			src := sources[rng.Intn(len(sources))]
+			// A source drawn twice must act as two distinct sources, or
+			// the duplicate observations would be deduplicated away.
+			alias := fmt.Sprintf("%s#%d", src, k)
+			for _, o := range bySource[src] {
+				_ = s.Add(freqstats.Observation{EntityID: o.EntityID, Value: o.Value, Source: alias})
+			}
+		}
+		e := est.EstimateSum(s)
+		if !e.Valid || e.Diverged || math.IsNaN(e.Estimated) || math.IsInf(e.Estimated, 0) {
+			continue
+		}
+		replicates = append(replicates, e.Estimated)
+	}
+	if len(replicates) < reps/2 {
+		return BootstrapResult{}, fmt.Errorf("core: only %d/%d bootstrap replicates were usable", len(replicates), reps)
+	}
+	sort.Float64s(replicates)
+
+	alpha := (1 - conf) / 2
+	return BootstrapResult{
+		Point:      point,
+		Lo:         stats.Quantile(replicates, alpha),
+		Hi:         stats.Quantile(replicates, 1-alpha),
+		StdErr:     stats.StdDev(replicates),
+		Replicates: replicates,
+	}, nil
+}

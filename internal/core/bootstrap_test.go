@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func streamObs(t *testing.T, seed int64, n, sources, perSource, prefix int) ([]freqstats.Observation, *sim.GroundTruth) {
+	t.Helper()
+	g, err := sim.NewGroundTruth(randx.New(seed), sim.Config{N: n, Lambda: 2, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(seed+7), g, sim.IntegrationConfig{
+		NumSources: sources, SourceSize: perSource, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix > st.Len() {
+		prefix = st.Len()
+	}
+	return st.Observations[:prefix], g
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	obs, _ := streamObs(t, 1, 50, 10, 10, 100)
+	if _, err := Bootstrap(nil, Naive{}, 100, 0.95, 1); err == nil {
+		t.Error("empty observations not reported")
+	}
+	if _, err := Bootstrap(obs, Naive{}, 5, 0.95, 1); err == nil {
+		t.Error("too few replicates not reported")
+	}
+	if _, err := Bootstrap(obs, Naive{}, 100, 1.5, 1); err == nil {
+		t.Error("bad confidence not reported")
+	}
+	oneSource := []freqstats.Observation{
+		{EntityID: "a", Value: 1, Source: "only"},
+		{EntityID: "b", Value: 2, Source: "only"},
+	}
+	if _, err := Bootstrap(oneSource, Naive{}, 100, 0.95, 1); err == nil {
+		t.Error("single source not reported")
+	}
+}
+
+func TestBootstrapIntervalCoversPoint(t *testing.T) {
+	obs, _ := streamObs(t, 2, 80, 16, 10, 160)
+	res, err := Bootstrap(obs, Naive{}, 100, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lo > res.Hi {
+		t.Fatalf("interval inverted: [%g, %g]", res.Lo, res.Hi)
+	}
+	if res.Point.Estimated < res.Lo-res.StdErr*4 || res.Point.Estimated > res.Hi+res.StdErr*4 {
+		t.Errorf("point %g far outside interval [%g, %g]", res.Point.Estimated, res.Lo, res.Hi)
+	}
+	if res.StdErr <= 0 {
+		t.Errorf("stderr = %g", res.StdErr)
+	}
+	if len(res.Replicates) < 50 {
+		t.Errorf("only %d usable replicates", len(res.Replicates))
+	}
+}
+
+func TestBootstrapDeterministicForSeed(t *testing.T) {
+	obs, _ := streamObs(t, 3, 60, 12, 10, 120)
+	a, err := Bootstrap(obs, Frequency{}, 50, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(obs, Frequency{}, 50, 0.9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Errorf("same seed gave [%g,%g] and [%g,%g]", a.Lo, a.Hi, b.Lo, b.Hi)
+	}
+}
+
+func TestBootstrapWiderConfidenceWiderInterval(t *testing.T) {
+	obs, _ := streamObs(t, 4, 80, 16, 10, 160)
+	narrow, err := Bootstrap(obs, Naive{}, 200, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Bootstrap(obs, Naive{}, 200, 0.99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Hi-wide.Lo < narrow.Hi-narrow.Lo {
+		t.Errorf("99%% interval [%g,%g] narrower than 50%% [%g,%g]",
+			wide.Lo, wide.Hi, narrow.Lo, narrow.Hi)
+	}
+}
+
+// More data should mean a tighter interval (relative to the estimate).
+func TestBootstrapShrinksWithData(t *testing.T) {
+	small, _ := streamObs(t, 5, 100, 30, 10, 100)
+	large, _ := streamObs(t, 5, 100, 30, 10, 300)
+	resSmall, err := Bootstrap(small, Naive{}, 100, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLarge, err := Bootstrap(large, Naive{}, 100, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relSmall := (resSmall.Hi - resSmall.Lo) / resSmall.Point.Estimated
+	relLarge := (resLarge.Hi - resLarge.Lo) / resLarge.Point.Estimated
+	if relLarge >= relSmall {
+		t.Errorf("interval did not shrink: %g (n=100) vs %g (n=300)", relSmall, relLarge)
+	}
+}

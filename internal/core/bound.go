@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/freqstats"
+	"repro/internal/species"
+	"repro/internal/stats"
+)
+
+// DefaultBoundZ is the z-score used for the worst-case value estimate in
+// the upper bound: the paper uses z = 3 (the three-sigma rule), putting
+// ~99.95% of the mass below the bound under normality of the mean.
+const DefaultBoundZ = 3.0
+
+// UpperBound is the estimation-error upper bound of Section 4: a
+// high-probability worst case for the ground-truth SUM, combining the
+// McAllester-Schapire bound on the Good-Turing missing mass (worst-case
+// count, equations 16-17) with a three-sigma worst case for the mean value
+// (equation 18):
+//
+//	phi_D <= (phi_K/c + z*sigma_K) * c / (1 - M0bound)       (equation 19)
+type UpperBound struct {
+	// Epsilon is the confidence parameter of the missing-mass bound; zero
+	// means the paper's 0.01 (99% confidence).
+	Epsilon float64
+	// Z is the z-score of the value bound; zero means the paper's 3.
+	Z float64
+}
+
+// BoundResult is the outcome of an upper-bound computation.
+type BoundResult struct {
+	// SumBound is the worst-case ground-truth SUM (phi_D upper bound).
+	SumBound float64
+	// DeltaBound is SumBound minus the observed sum: the worst-case impact.
+	DeltaBound float64
+	// CountBound is the worst-case number of unique entities.
+	CountBound float64
+	// MeanBound is the worst-case ground-truth mean value.
+	MeanBound float64
+	// Informative is false when the sample is still too small for the
+	// missing-mass bound to be below 1, in which case no finite bound
+	// exists yet and the other fields are +Inf.
+	Informative bool
+}
+
+// Bound computes the upper bound for the SUM aggregate over s.
+func (u UpperBound) Bound(s *freqstats.Sample) BoundResult {
+	eps := u.Epsilon
+	if eps == 0 {
+		eps = species.DefaultBoundEpsilon
+	}
+	z := u.Z
+	if z == 0 {
+		z = DefaultBoundZ
+	}
+	c := float64(s.C())
+	observed := s.SumValues()
+	inf := BoundResult{
+		SumBound:   math.Inf(1),
+		DeltaBound: math.Inf(1),
+		CountBound: math.Inf(1),
+		MeanBound:  math.Inf(1),
+	}
+	if c == 0 {
+		return inf
+	}
+	countBound, ok := species.NUpperBound(s, eps)
+	if !ok {
+		return inf
+	}
+	values := s.Values()
+	meanBound := observed/c + z*stats.StdDev(values)
+	sumBound := meanBound * countBound
+	return BoundResult{
+		SumBound:    sumBound,
+		DeltaBound:  sumBound - observed,
+		CountBound:  countBound,
+		MeanBound:   meanBound,
+		Informative: true,
+	}
+}

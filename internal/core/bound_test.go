@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func TestUpperBoundEmptySample(t *testing.T) {
+	r := UpperBound{}.Bound(freqstats.NewSample())
+	if r.Informative {
+		t.Error("empty sample produced an informative bound")
+	}
+	if !math.IsInf(r.SumBound, 1) {
+		t.Errorf("SumBound = %g, want +Inf", r.SumBound)
+	}
+}
+
+func TestUpperBoundSmallSampleUninformative(t *testing.T) {
+	s := toyBefore(t)
+	r := UpperBound{}.Bound(s)
+	if r.Informative {
+		t.Errorf("n=7 should be too small for a finite bound, got %+v", r)
+	}
+}
+
+func TestUpperBoundDominatesEstimates(t *testing.T) {
+	g, err := sim.NewGroundTruth(randx.New(1), sim.Config{N: 100, Lambda: 1, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(2), g, sim.IntegrationConfig{
+		NumSources: 100, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Prefix(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := UpperBound{}.Bound(s)
+	if !r.Informative {
+		t.Fatal("large sample still uninformative")
+	}
+	truth := g.Sum()
+	if r.SumBound < truth {
+		t.Errorf("bound %.0f below ground truth %.0f", r.SumBound, truth)
+	}
+	for _, est := range []SumEstimator{Naive{}, Frequency{}, Bucket{}} {
+		e := est.EstimateSum(s)
+		if r.SumBound < e.Estimated {
+			t.Errorf("bound %.0f below %s estimate %.0f", r.SumBound, est.Name(), e.Estimated)
+		}
+	}
+	if r.DeltaBound != r.SumBound-s.SumValues() {
+		t.Errorf("DeltaBound inconsistent: %g vs %g", r.DeltaBound, r.SumBound-s.SumValues())
+	}
+}
+
+// The bound must tighten as more data arrives (Figure 7's upper-bound
+// panel: "becomes more tight as we observe more data").
+func TestUpperBoundTightensWithData(t *testing.T) {
+	g, err := sim.NewGroundTruth(randx.New(3), sim.Config{N: 100, Lambda: 1, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(4), g, sim.IntegrationConfig{
+		NumSources: 200, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{500, 1000, 2000, 4000} {
+		s, err := st.Prefix(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := UpperBound{}.Bound(s)
+		if !r.Informative {
+			continue
+		}
+		// The count bound component shrinks monotonically in n for a fixed
+		// population; the sum bound follows once values stabilize.
+		if r.CountBound >= prev {
+			t.Errorf("count bound not tightening at n=%d: %g >= %g", k, r.CountBound, prev)
+		}
+		prev = r.CountBound
+	}
+	if math.IsInf(prev, 1) {
+		t.Error("bound never became informative")
+	}
+}
+
+func TestUpperBoundCustomParameters(t *testing.T) {
+	s := freqstats.NewSample()
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("e%d", i)
+		for k := 0; k < 5; k++ {
+			mustAdd(t, s, id, float64(i+1), fmt.Sprintf("s%d", k))
+		}
+	}
+	loose := UpperBound{Epsilon: 0.5, Z: 1}.Bound(s)
+	tight := UpperBound{Epsilon: 0.01, Z: 3}.Bound(s)
+	if !loose.Informative || !tight.Informative {
+		t.Fatalf("bounds uninformative: %+v / %+v", loose, tight)
+	}
+	// Smaller epsilon (more confidence) and larger z both loosen the bound.
+	if tight.SumBound <= loose.SumBound {
+		t.Errorf("higher-confidence bound %g should exceed lower-confidence %g",
+			tight.SumBound, loose.SumBound)
+	}
+}

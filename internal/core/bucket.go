@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/freqstats"
+	"repro/internal/species"
+	"repro/internal/stats"
+)
+
+// BucketResult describes one bucket produced by a bucketing strategy: the
+// value range it covers, the sub-sample of observations falling in it, and
+// the inner estimator's estimate for that sub-population.
+type BucketResult struct {
+	// Lo and Hi delimit the bucket's value range. Lo is inclusive; Hi is
+	// exclusive except for the last bucket, which includes its upper edge.
+	Lo, Hi float64
+	// Sample is the restriction of the input sample to this bucket.
+	Sample *freqstats.Sample
+	// Est is the inner estimator's result on Sample.
+	Est Estimate
+}
+
+// Bucket is the bucket estimator of Section 3.3: it divides the observed
+// value range into sub-ranges, treats each as a separate data set,
+// estimates the impact of unknown unknowns per bucket with an inner
+// estimator, and sums the per-bucket estimates (equation 11). Bucketing
+// contains the publicity-value correlation: each bucket holds items of
+// similar value, so mean substitution within a bucket is far less biased.
+//
+// The zero value uses the dynamic strategy of Algorithm 1 with the Naive
+// inner estimator — the configuration the paper simply calls "Bucket".
+type Bucket struct {
+	// Inner estimates Delta within each bucket. Nil means Naive{}.
+	Inner SumEstimator
+	// Strategy picks bucket boundaries. Nil means Dynamic{}.
+	Strategy BucketStrategy
+}
+
+// Name implements SumEstimator.
+func (b Bucket) Name() string {
+	inner := b.inner().Name()
+	strat := b.strategy().Name()
+	if inner == "naive" && strat == "dynamic" {
+		return "bucket"
+	}
+	return fmt.Sprintf("bucket(%s,%s)", strat, inner)
+}
+
+func (b Bucket) inner() SumEstimator {
+	if b.Inner == nil {
+		return Naive{}
+	}
+	return b.Inner
+}
+
+func (b Bucket) strategy() BucketStrategy {
+	if b.Strategy == nil {
+		return Dynamic{}
+	}
+	return b.Strategy
+}
+
+// EstimateSum implements SumEstimator.
+func (b Bucket) EstimateSum(s *freqstats.Sample) Estimate {
+	buckets := b.Buckets(s)
+	e := Estimate{
+		Observed:      s.SumValues(),
+		CountObserved: s.C(),
+	}
+	if len(buckets) == 0 {
+		return e
+	}
+	e.Valid = true
+	var delta, nHat float64
+	var cov float64
+	for _, bk := range buckets {
+		delta += bk.Est.Delta
+		nHat += bk.Est.CountEstimated
+		e.Diverged = e.Diverged || bk.Est.Diverged
+		cov += bk.Est.Coverage * float64(bk.Sample.N())
+	}
+	e.CountEstimated = nHat
+	if s.N() > 0 {
+		e.Coverage = cov / float64(s.N())
+	}
+	e.LowCoverage = e.Coverage < species.MinReliableCoverage
+	return finishEstimate(e, delta)
+}
+
+// Buckets runs the strategy and returns the per-bucket breakdown. The
+// result is ordered by value range. An empty sample yields nil.
+func (b Bucket) Buckets(s *freqstats.Sample) []BucketResult {
+	if s.C() == 0 {
+		return nil
+	}
+	return b.strategy().Split(s, b.inner())
+}
+
+// BucketStrategy determines bucket boundaries for the bucket estimator.
+type BucketStrategy interface {
+	Name() string
+	// Split partitions s into buckets, estimating each with inner.
+	Split(s *freqstats.Sample, inner SumEstimator) []BucketResult
+}
+
+// rangeSample restricts s to entities with value in [lo, hi) — or [lo, hi]
+// when last is true — and wraps it in a BucketResult.
+func rangeSample(s *freqstats.Sample, inner SumEstimator, lo, hi float64, last bool) BucketResult {
+	sub := s.Filter(func(_ string, v float64) bool {
+		if last {
+			return v >= lo && v <= hi
+		}
+		return v >= lo && v < hi
+	})
+	return BucketResult{Lo: lo, Hi: hi, Sample: sub, Est: inner.EstimateSum(sub)}
+}
+
+// EquiWidth is the static equi-width strategy of Section 3.3.1: the
+// observed value range is divided into K buckets of equal width
+// (equation 12). Buckets that end up empty are dropped; buckets containing
+// only singletons diverge (the estimate is flagged, matching the paper's
+// observation that static bucket estimates can blow up).
+type EquiWidth struct {
+	// K is the number of buckets; values < 1 are treated as 1.
+	K int
+}
+
+// Name implements BucketStrategy.
+func (w EquiWidth) Name() string { return fmt.Sprintf("eqwidth-%d", w.k()) }
+
+func (w EquiWidth) k() int {
+	if w.K < 1 {
+		return 1
+	}
+	return w.K
+}
+
+// Split implements BucketStrategy.
+func (w EquiWidth) Split(s *freqstats.Sample, inner SumEstimator) []BucketResult {
+	values := s.Values()
+	lo, _ := stats.Min(values)
+	hi, _ := stats.Max(values)
+	k := w.k()
+	if lo == hi {
+		k = 1
+	}
+	out := make([]BucketResult, 0, k)
+	for i := 0; i < k; i++ {
+		bLo := lo + (hi-lo)*float64(i)/float64(k)
+		bHi := lo + (hi-lo)*float64(i+1)/float64(k)
+		br := rangeSample(s, inner, bLo, bHi, i == k-1)
+		if br.Sample.C() == 0 {
+			continue
+		}
+		out = append(out, br)
+	}
+	return out
+}
+
+// EquiHeight is the static equi-height strategy of Appendix B: the sorted
+// observed values are divided into K buckets of (approximately) equal
+// entity count.
+type EquiHeight struct {
+	// K is the number of buckets; values < 1 are treated as 1.
+	K int
+}
+
+// Name implements BucketStrategy.
+func (h EquiHeight) Name() string { return fmt.Sprintf("eqheight-%d", h.k()) }
+
+func (h EquiHeight) k() int {
+	if h.K < 1 {
+		return 1
+	}
+	return h.K
+}
+
+// Split implements BucketStrategy.
+func (h EquiHeight) Split(s *freqstats.Sample, inner SumEstimator) []BucketResult {
+	values := s.Values()
+	edges, err := stats.EquiHeightEdges(values, h.k())
+	if err != nil || len(edges) < 2 {
+		return nil
+	}
+	out := make([]BucketResult, 0, len(edges)-1)
+	for i := 0; i+1 < len(edges); i++ {
+		last := i+2 == len(edges)
+		br := rangeSample(s, inner, edges[i], edges[i+1], last)
+		if br.Sample.C() == 0 {
+			continue
+		}
+		out = append(out, br)
+	}
+	return out
+}
+
+// Dynamic is the dynamic bucketing strategy of Algorithm 1 (Section
+// 3.3.2): starting from a single bucket over the whole value range, it
+// recursively splits a bucket at the unique value that minimizes the
+// overall estimated impact sum |Delta|, and keeps a split only if it
+// lowers that sum. Splitting monotonically inflates the count estimate
+// (equations 13-14), so a decrease in |Delta| signals that the finer value
+// resolution genuinely improved the estimate — the conservative
+// "only split to underestimate" rule.
+type Dynamic struct{}
+
+// Name implements BucketStrategy.
+func (Dynamic) Name() string { return "dynamic" }
+
+// Split implements BucketStrategy.
+func (Dynamic) Split(s *freqstats.Sample, inner SumEstimator) []BucketResult {
+	values := s.Values()
+	lo, ok := stats.Min(values)
+	if !ok {
+		return nil
+	}
+	hi, _ := stats.Max(values)
+
+	todo := []BucketResult{rangeSample(s, inner, lo, hi, true)}
+	var done []BucketResult
+
+	for len(todo) > 0 {
+		b := todo[0]
+		todo = todo[1:]
+		// Cost of every bucket except the one being considered for a
+		// split. The bucket sets are small, so summing directly is clearer
+		// (and safer with infinite costs) than maintaining a running total.
+		rest := costSum(todo) + costSum(done)
+
+		best, ok := bestSplit(b, inner, rest)
+		if ok {
+			todo = append(todo, best[0], best[1])
+		} else {
+			done = append(done, b)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Lo < done[j].Lo })
+	return done
+}
+
+// splitCost is the cost |Delta| of a bucket in the dynamic split search.
+// A bucket containing only singletons makes the naive estimate divide by
+// zero (n == f1, equation 8); the paper treats such estimates as infinite,
+// which disqualifies any split that isolates singletons.
+func splitCost(b BucketResult) float64 {
+	if b.Est.Diverged {
+		return math.Inf(1)
+	}
+	return math.Abs(b.Est.Delta)
+}
+
+func costSum(bs []BucketResult) float64 {
+	var t float64
+	for _, b := range bs {
+		t += splitCost(b)
+	}
+	return t
+}
+
+// bestSplit searches every unique attribute value in b as a split point
+// and returns the sub-bucket pair minimizing rest + cost(t1) + cost(t2),
+// provided it strictly improves on keeping b whole.
+func bestSplit(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResult, bool) {
+	uniq := uniqueSortedValues(b.Sample)
+	if len(uniq) < 2 {
+		return [2]BucketResult{}, false
+	}
+	deltaMin := rest + splitCost(b) // current total; splits must beat this
+	var best [2]BucketResult
+	found := false
+	for _, v := range uniq[1:] { // splitting below the minimum is a no-op
+		t1 := rangeSample(b.Sample, inner, b.Lo, v, false)
+		t2 := rangeSample(b.Sample, inner, v, b.Hi, true)
+		if t1.Sample.C() == 0 || t2.Sample.C() == 0 {
+			continue
+		}
+		cand := rest + splitCost(t1) + splitCost(t2)
+		if deltaMin > cand {
+			deltaMin = cand
+			best = [2]BucketResult{t1, t2}
+			found = true
+		}
+	}
+	return best, found
+}
+
+func uniqueSortedValues(s *freqstats.Sample) []float64 {
+	values := s.Values()
+	sort.Float64s(values)
+	out := values[:0]
+	for i, v := range values {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

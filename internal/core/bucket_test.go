@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func TestBucketEmptySample(t *testing.T) {
+	est := Bucket{}.EstimateSum(freqstats.NewSample())
+	if est.Valid {
+		t.Error("empty sample produced a valid estimate")
+	}
+	if got := (Bucket{}).Buckets(freqstats.NewSample()); got != nil {
+		t.Errorf("Buckets on empty = %v", got)
+	}
+}
+
+func TestBucketSingleValue(t *testing.T) {
+	s := freqstats.NewSample()
+	mustAdd(t, s, "a", 5, "s1")
+	mustAdd(t, s, "a", 5, "s2")
+	mustAdd(t, s, "b", 5, "s1")
+	mustAdd(t, s, "b", 5, "s2")
+	est := Bucket{}.EstimateSum(s)
+	if !est.Valid {
+		t.Fatalf("flags: %+v", est)
+	}
+	// Complete coverage: Delta = 0.
+	if est.Delta != 0 {
+		t.Errorf("Delta = %g, want 0", est.Delta)
+	}
+	buckets := Bucket{}.Buckets(s)
+	if len(buckets) != 1 {
+		t.Errorf("buckets = %v", bucketRanges(buckets))
+	}
+}
+
+// The dynamic split must never increase the overall |Delta| compared to
+// the unsplit (naive) estimate — that is its defining conservative
+// property (Section 3.3.2).
+func TestDynamicNeverWorseThanNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := sim.NewGroundTruth(randx.New(seed), sim.Config{N: 60, Lambda: 2, Rho: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Integrate(randx.New(seed+100), g, sim.IntegrationConfig{
+			NumSources: 12, SourceSize: 15, Interleave: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Prefix(st.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := Naive{}.EstimateSum(s)
+		bucket := Bucket{}.EstimateSum(s)
+		if naive.Diverged || bucket.Diverged {
+			continue
+		}
+		if math.Abs(bucket.Delta) > math.Abs(naive.Delta)+1e-9 {
+			t.Errorf("seed %d: |bucket Delta| %.2f > |naive Delta| %.2f",
+				seed, math.Abs(bucket.Delta), math.Abs(naive.Delta))
+		}
+	}
+}
+
+// Buckets returned by every strategy must partition the sample: disjoint
+// value ranges whose sub-samples cover every unique entity exactly once.
+func TestStrategiesPartitionSample(t *testing.T) {
+	g, err := sim.NewGroundTruth(randx.New(3), sim.Config{N: 50, Lambda: 1, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(4), g, sim.IntegrationConfig{NumSources: 10, SourceSize: 12, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Prefix(st.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []BucketStrategy{
+		Dynamic{},
+		EquiWidth{K: 1}, EquiWidth{K: 4}, EquiWidth{K: 10},
+		EquiHeight{K: 1}, EquiHeight{K: 4}, EquiHeight{K: 10},
+	}
+	for _, strat := range strategies {
+		t.Run(strat.Name(), func(t *testing.T) {
+			buckets := strat.Split(s, Naive{})
+			var total, totalN int
+			var sum float64
+			for _, b := range buckets {
+				total += b.Sample.C()
+				totalN += b.Sample.N()
+				sum += b.Sample.SumValues()
+				if err := b.Sample.CheckInvariants(); err != nil {
+					t.Error(err)
+				}
+			}
+			if total != s.C() {
+				t.Errorf("buckets cover %d unique entities, sample has %d", total, s.C())
+			}
+			if totalN != s.N() {
+				t.Errorf("buckets cover %d observations, sample has %d", totalN, s.N())
+			}
+			if math.Abs(sum-s.SumValues()) > 1e-6 {
+				t.Errorf("bucket value sum %g != sample sum %g", sum, s.SumValues())
+			}
+		})
+	}
+}
+
+func TestEquiWidthBucketCount(t *testing.T) {
+	s := freqstats.NewSample()
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("e%d", i)
+		mustAdd(t, s, id, float64(i+1)*10, "s1")
+		mustAdd(t, s, id, float64(i+1)*10, "s2")
+	}
+	buckets := EquiWidth{K: 4}.Split(s, Naive{})
+	if len(buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(buckets))
+	}
+	// Equal widths.
+	w := buckets[0].Hi - buckets[0].Lo
+	for _, b := range buckets[1:] {
+		if math.Abs((b.Hi-b.Lo)-w) > 1e-9 {
+			t.Errorf("unequal widths: %g vs %g", b.Hi-b.Lo, w)
+		}
+	}
+}
+
+func TestEquiWidthDropsEmptyBuckets(t *testing.T) {
+	s := freqstats.NewSample()
+	// Values clustered at both extremes: middle buckets are empty.
+	mustAdd(t, s, "a", 0, "s1")
+	mustAdd(t, s, "a", 0, "s2")
+	mustAdd(t, s, "b", 1000, "s1")
+	mustAdd(t, s, "b", 1000, "s2")
+	buckets := EquiWidth{K: 10}.Split(s, Naive{})
+	if len(buckets) != 2 {
+		t.Errorf("bucket count = %d, want 2 non-empty", len(buckets))
+	}
+}
+
+func TestEquiHeightBalances(t *testing.T) {
+	s := freqstats.NewSample()
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("e%d", i)
+		mustAdd(t, s, id, float64(i), "s1")
+		mustAdd(t, s, id, float64(i), "s2")
+	}
+	buckets := EquiHeight{K: 4}.Split(s, Naive{})
+	if len(buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(buckets))
+	}
+	for _, b := range buckets {
+		if b.Sample.C() < 9 || b.Sample.C() > 11 {
+			t.Errorf("bucket %g-%g holds %d entities, want ~10", b.Lo, b.Hi, b.Sample.C())
+		}
+	}
+}
+
+func TestStaticBucketSingletonDivergence(t *testing.T) {
+	// A bucket whose entities are all singletons must be flagged.
+	s := freqstats.NewSample()
+	// Low range: well-observed. High range: a lone singleton.
+	mustAdd(t, s, "a", 10, "s1")
+	mustAdd(t, s, "a", 10, "s2")
+	mustAdd(t, s, "b", 20, "s1")
+	mustAdd(t, s, "b", 20, "s2")
+	mustAdd(t, s, "z", 1000, "s3")
+	buckets := EquiWidth{K: 2}.Split(s, Naive{})
+	if len(buckets) != 2 {
+		t.Fatalf("buckets: %v", bucketRanges(buckets))
+	}
+	if !buckets[1].Est.Diverged {
+		t.Error("singleton-only bucket not flagged as diverged")
+	}
+	est := Bucket{Strategy: EquiWidth{K: 2}}.EstimateSum(s)
+	if !est.Diverged {
+		t.Error("overall estimate not flagged when a bucket diverged")
+	}
+}
+
+// With publicity-value correlation, the bucket estimator should beat
+// naive on average — the paper's central claim (Section 6.2 middle row).
+func TestBucketBeatsNaiveUnderCorrelation(t *testing.T) {
+	var naiveErr, bucketErr float64
+	const reps = 15
+	for seed := int64(0); seed < reps; seed++ {
+		g, err := sim.NewGroundTruth(randx.New(seed), sim.Config{N: 100, Lambda: 4, Rho: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Integrate(randx.New(seed+1000), g, sim.IntegrationConfig{
+			NumSources: 100, SourceSize: 5, Interleave: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Prefix(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := g.Sum()
+		naiveErr += math.Abs(Naive{}.EstimateSum(s).Estimated - truth)
+		bucketErr += math.Abs(Bucket{}.EstimateSum(s).Estimated - truth)
+	}
+	if bucketErr >= naiveErr {
+		t.Errorf("bucket mean error %.0f not better than naive %.0f under correlation",
+			bucketErr/reps, naiveErr/reps)
+	}
+}
+
+func TestBucketWithFrequencyInner(t *testing.T) {
+	s := toyBefore(t)
+	est := Bucket{Inner: Frequency{}}.EstimateSum(s)
+	if !est.Valid {
+		t.Fatalf("flags: %+v", est)
+	}
+	if math.IsNaN(est.Delta) || math.IsInf(est.Delta, 0) {
+		t.Errorf("Delta = %g", est.Delta)
+	}
+}
+
+func TestBucketsSortedByRange(t *testing.T) {
+	g, err := sim.NewGroundTruth(randx.New(5), sim.Config{N: 80, Lambda: 3, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(6), g, sim.IntegrationConfig{NumSources: 20, SourceSize: 15, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Prefix(st.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := Bucket{}.Buckets(s)
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Lo < buckets[i-1].Lo {
+			t.Fatalf("buckets not sorted: %v", bucketRanges(buckets))
+		}
+		if buckets[i].Lo < buckets[i-1].Hi-1e-9 {
+			t.Fatalf("buckets overlap: %v", bucketRanges(buckets))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+// Convergence properties: as the sample grows over a fixed ground truth,
+// the estimators' average error must shrink, and on a complete sample
+// (coverage 1) every estimator must agree with the observed aggregate —
+// the asymptotic behaviour the paper relies on throughout Section 6.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+// meanErrorAt measures the mean absolute relative error of an estimator at
+// a prefix size, averaged over seeds.
+func meanErrorAt(t *testing.T, est SumEstimator, prefix int, reps int) float64 {
+	t.Helper()
+	var total float64
+	count := 0
+	for seed := int64(0); seed < int64(reps); seed++ {
+		g, err := sim.NewGroundTruth(randx.New(seed), sim.Config{N: 100, Lambda: 2, Rho: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Integrate(randx.New(seed+999), g, sim.IntegrationConfig{
+			NumSources: 40, SourceSize: 15, Interleave: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Prefix(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := est.EstimateSum(s)
+		if !e.Valid || e.Diverged {
+			continue
+		}
+		total += math.Abs(e.Estimated-g.Sum()) / g.Sum()
+		count++
+	}
+	if count == 0 {
+		t.Fatalf("no usable runs at prefix %d", prefix)
+	}
+	return total / float64(count)
+}
+
+func TestEstimatorsConvergeWithData(t *testing.T) {
+	const reps = 10
+	for _, est := range []SumEstimator{Naive{}, Frequency{}, Bucket{}} {
+		t.Run(est.Name(), func(t *testing.T) {
+			early := meanErrorAt(t, est, 80, reps)
+			late := meanErrorAt(t, est, 500, reps)
+			if late >= early {
+				t.Errorf("error did not shrink: %.3f at n=80, %.3f at n=500", early, late)
+			}
+			if late > 0.10 {
+				t.Errorf("late error %.3f still above 10%%", late)
+			}
+		})
+	}
+}
+
+func TestEstimatorsExactOnCompleteSample(t *testing.T) {
+	// Every entity observed by every source: coverage 1, Delta must be 0.
+	s := freqstats.NewSample()
+	for i := 0; i < 30; i++ {
+		for _, src := range []string{"s1", "s2", "s3", "s4", "s5"} {
+			mustAdd(t, s, fmt.Sprintf("e%d", i), float64((i+1)*7), src)
+		}
+	}
+	for _, est := range []SumEstimator{Naive{}, Frequency{}, Bucket{}, MonteCarlo{Runs: 1, Seed: 1}} {
+		e := est.EstimateSum(s)
+		if !e.Valid {
+			t.Errorf("%s: invalid on complete sample", est.Name())
+			continue
+		}
+		if math.Abs(e.Delta) > 1e-9 {
+			t.Errorf("%s: Delta = %g on complete sample, want 0", est.Name(), e.Delta)
+		}
+		if e.Coverage != 1 {
+			t.Errorf("%s: coverage = %g, want 1", est.Name(), e.Coverage)
+		}
+	}
+}
+
+// The bucket estimator's count must always stay within [c, Chao92 total]:
+// per-bucket Chao92 sums can exceed the global Chao92 (the splitting
+// lemma), but the dynamic strategy only accepts splits that lower |Delta|,
+// so its count stays sane — above c and not absurdly above the truth.
+func TestBucketCountSane(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g, err := sim.NewGroundTruth(randx.New(seed), sim.Config{N: 100, Lambda: 3, Rho: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Integrate(randx.New(seed+50), g, sim.IntegrationConfig{
+			NumSources: 20, SourceSize: 15, Interleave: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Prefix(250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := Bucket{}.EstimateSum(s)
+		if !e.Valid || e.Diverged {
+			continue
+		}
+		c := float64(s.C())
+		if e.CountEstimated < c-1e-9 {
+			t.Errorf("seed %d: bucket count %g below observed %g", seed, e.CountEstimated, c)
+		}
+		if e.CountEstimated > 5*float64(g.N()) {
+			t.Errorf("seed %d: bucket count %g wildly above truth %d", seed, e.CountEstimated, g.N())
+		}
+	}
+}
+
+// Coverage reported by every estimator matches the sample's Good-Turing
+// coverage for the non-bucket estimators (buckets report a weighted blend).
+func TestEstimateCoverageConsistency(t *testing.T) {
+	s := toyBefore(t)
+	want := 1 - 1.0/7.0
+	for _, est := range []SumEstimator{Naive{}, Frequency{}, GoodTuringFrequency{}} {
+		e := est.EstimateSum(s)
+		if math.Abs(e.Coverage-want) > 1e-12 {
+			t.Errorf("%s: coverage %g, want %g", est.Name(), e.Coverage, want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package core implements the paper's contribution: estimators for the
+// impact of unknown unknowns on aggregate query results.
+//
+// Given the observation multiset S assembled by data integration
+// (freqstats.Sample), each estimator produces Delta-hat, an estimate of
+// Delta = phi_D - phi_K (Definition 2): the difference between the true
+// aggregate over the hidden ground truth D and the observed aggregate over
+// the integrated database K.
+//
+// Four SUM estimators are provided, in increasing sophistication:
+//
+//   - Naive (Section 3.1): Chao92 count estimate x mean substitution.
+//   - Frequency (Section 3.2): Chao92 count estimate x singleton-mean
+//     substitution, more robust to popular high-impact items.
+//   - Bucket (Section 3.3): splits the value range into buckets and
+//     estimates per bucket; the dynamic strategy (Algorithm 1) picks splits
+//     conservatively so the overall |Delta| is minimized.
+//   - MonteCarlo (Section 3.4): simulates the per-source sampling process
+//     to find the population size that best explains S; robust to streakers.
+//
+// Section 4's estimation-error upper bound and Section 5's COUNT, AVG and
+// MIN/MAX estimators are also implemented, as are the combination
+// estimators of Appendix D (any Delta estimator can run inside buckets).
+package core
+
+import (
+	"math"
+
+	"repro/internal/freqstats"
+	"repro/internal/species"
+)
+
+// Estimate is the outcome of estimating the impact of unknown unknowns on
+// a SUM-style aggregate.
+type Estimate struct {
+	// Delta is the estimated impact Delta-hat of the unknown unknowns.
+	Delta float64
+	// Observed is the aggregate over the integrated database K (phi_K).
+	Observed float64
+	// Estimated is the corrected query answer phi_K + Delta-hat.
+	Estimated float64
+	// CountObserved is the number of unique entities c observed.
+	CountObserved int
+	// CountEstimated is the estimated number of unique entities N-hat.
+	CountEstimated float64
+	// Coverage is the Good-Turing sample coverage of the sample used.
+	Coverage float64
+	// Valid is false when the sample was too small to estimate anything.
+	Valid bool
+	// Diverged is true when a divide-by-zero regime was hit (pure
+	// singletons) and a finite fallback was substituted; treat the numbers
+	// with suspicion.
+	Diverged bool
+	// LowCoverage is true when coverage is below the 40% threshold under
+	// which the paper recommends not trusting estimates (Section 6.5).
+	LowCoverage bool
+}
+
+// SumEstimator estimates the impact of unknown unknowns on a SUM query.
+type SumEstimator interface {
+	// Name identifies the estimator in experiment output ("naive",
+	// "freq", "bucket", "mc", ...).
+	Name() string
+	// EstimateSum estimates Delta for the SUM aggregate over s.
+	EstimateSum(s *freqstats.Sample) Estimate
+}
+
+// newEstimate assembles the shared fields of an estimate from a sample and
+// a species-level count estimate, leaving Delta/Estimated at zero for the
+// caller to fill in.
+func newEstimate(s *freqstats.Sample, sp species.Estimate) Estimate {
+	return Estimate{
+		Observed:       s.SumValues(),
+		CountObserved:  s.C(),
+		CountEstimated: sp.N,
+		Coverage:       sp.Coverage,
+		Valid:          sp.Valid,
+		Diverged:       sp.Diverged,
+		LowCoverage:    sp.LowCoverage,
+	}
+}
+
+// finishEstimate fills Delta and Estimated, guarding against non-finite
+// arithmetic.
+func finishEstimate(e Estimate, delta float64) Estimate {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		e.Diverged = true
+		delta = 0
+	}
+	e.Delta = delta
+	e.Estimated = e.Observed + delta
+	return e
+}
+
+// Naive is the naive estimator of Section 3.1: the Chao92 estimate of the
+// number of missing entities multiplied by the observed mean value
+// (mean substitution):
+//
+//	Delta = (phi_K / c) * (N-hat_Chao92 - c)
+//
+// It ignores any publicity-value correlation and therefore over- or
+// under-estimates when popular items have systematically different values.
+// The zero value is ready to use.
+type Naive struct{}
+
+// Name implements SumEstimator.
+func (Naive) Name() string { return "naive" }
+
+// EstimateSum implements SumEstimator.
+func (Naive) EstimateSum(s *freqstats.Sample) Estimate {
+	sp := species.Chao92(s)
+	e := newEstimate(s, sp)
+	if !e.Valid {
+		return e
+	}
+	c := float64(s.C())
+	delta := e.Observed / c * (sp.N - c)
+	return finishEstimate(e, delta)
+}
+
+// Frequency is the frequency estimator of Section 3.2: like Naive, but the
+// value of a missing entity is estimated by the mean over the singletons
+// (entities observed exactly once), which are the best proxy for
+// not-yet-seen data:
+//
+//	Delta = (phi_f1 / f1) * (N-hat_Chao92 - c)
+//
+// Popular high-value items do not remain singletons for long, so they stop
+// biasing the value estimate. The zero value is ready to use.
+type Frequency struct{}
+
+// Name implements SumEstimator.
+func (Frequency) Name() string { return "freq" }
+
+// EstimateSum implements SumEstimator.
+func (Frequency) EstimateSum(s *freqstats.Sample) Estimate {
+	sp := species.Chao92(s)
+	e := newEstimate(s, sp)
+	if !e.Valid {
+		return e
+	}
+	f1 := s.F1()
+	if f1 == 0 {
+		// No singletons: the sample looks complete from the frequency
+		// estimator's viewpoint (N-hat == c and no value signal). Delta 0.
+		return finishEstimate(e, 0)
+	}
+	singletonMean := s.SumSingletonValues() / float64(f1)
+	delta := singletonMean * (sp.N - float64(s.C()))
+	return finishEstimate(e, delta)
+}
+
+// GoodTuringFrequency is the simplified frequency estimator of equation 10,
+// which assumes gamma^2 = 0 (pure Good-Turing):
+//
+//	Delta = phi_f1 * c / (n - f1)
+//
+// The paper recommends it as a quick check of whether a query result might
+// be impacted by unknown unknowns at all. The zero value is ready to use.
+type GoodTuringFrequency struct{}
+
+// Name implements SumEstimator.
+func (GoodTuringFrequency) Name() string { return "freq-gt" }
+
+// EstimateSum implements SumEstimator.
+func (GoodTuringFrequency) EstimateSum(s *freqstats.Sample) Estimate {
+	sp := species.GoodTuring(s)
+	e := newEstimate(s, sp)
+	if !e.Valid {
+		return e
+	}
+	f1 := s.F1()
+	if f1 == 0 {
+		return finishEstimate(e, 0)
+	}
+	singletonMean := s.SumSingletonValues() / float64(f1)
+	delta := singletonMean * (sp.N - float64(s.C()))
+	return finishEstimate(e, delta)
+}

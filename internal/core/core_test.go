@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+)
+
+// toyBefore builds the Appendix F toy example before source s5:
+// A (1000 employees) observed once, B (2000) twice, D (10000) four times.
+// n=7, c=3, f1=1, gamma^2 = 1/6, phi_K = 13000, ground truth 14200.
+func toyBefore(t testing.TB) *freqstats.Sample {
+	t.Helper()
+	s := freqstats.NewSample()
+	add := func(id string, v float64, src string) {
+		t.Helper()
+		if err := s.Add(freqstats.Observation{EntityID: id, Value: v, Source: src}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("A", 1000, "s1")
+	add("B", 2000, "s1")
+	add("D", 10000, "s1")
+	add("B", 2000, "s2")
+	add("D", 10000, "s2")
+	add("D", 10000, "s3")
+	add("D", 10000, "s4")
+	return s
+}
+
+// toyAfter extends toyBefore with source s5 = {A, B, E}:
+// A(1000)x2, B(2000)x3, D(10000)x4, E(300)x1. n=10, c=4, f1=1, gamma^2=0,
+// phi_K = 13300.
+func toyAfter(t testing.TB) *freqstats.Sample {
+	t.Helper()
+	s := toyBefore(t)
+	add := func(id string, v float64) {
+		t.Helper()
+		if err := s.Add(freqstats.Observation{EntityID: id, Value: v, Source: "s5"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("A", 1000)
+	add("B", 2000)
+	add("E", 300)
+	return s
+}
+
+func TestToyExampleStatistics(t *testing.T) {
+	s := toyBefore(t)
+	if s.N() != 7 || s.C() != 3 || s.F1() != 1 {
+		t.Fatalf("before: n=%d c=%d f1=%d", s.N(), s.C(), s.F1())
+	}
+	if got := s.SumValues(); got != 13000 {
+		t.Fatalf("before phi_K = %g", got)
+	}
+	a := toyAfter(t)
+	if a.N() != 10 || a.C() != 4 || a.F1() != 1 {
+		t.Fatalf("after: n=%d c=%d f1=%d", a.N(), a.C(), a.F1())
+	}
+	if got := a.SumValues(); got != 13300 {
+		t.Fatalf("after phi_K = %g", got)
+	}
+}
+
+// TestTable2NaiveBefore reproduces the paper's printed arithmetic exactly:
+// phi_K + phi_K*f1*(c + gamma^2*n) / (c*(n-f1)) ~ 16009.
+func TestTable2NaiveBefore(t *testing.T) {
+	s := toyBefore(t)
+	est := Naive{}.EstimateSum(s)
+	if !est.Valid || est.Diverged {
+		t.Fatalf("flags: %+v", est)
+	}
+	// 13000 + 13000*1*(3 + (1/6)*7) / (3*6) = 13000 + 13000*(25/6)/18
+	want := 13000 + 13000*(3+7.0/6.0)/18
+	if math.Abs(est.Estimated-want) > 1e-9 {
+		t.Errorf("naive before = %.2f, want %.2f", est.Estimated, want)
+	}
+	if math.Abs(est.Estimated-16009.26) > 1 {
+		t.Errorf("naive before = %.2f, paper prints ~16009", est.Estimated)
+	}
+}
+
+// TestTable2FreqBefore: phi_K + phi_f1*(c + gamma^2*n)/(n - f1) ~ 13694.
+func TestTable2FreqBefore(t *testing.T) {
+	s := toyBefore(t)
+	est := Frequency{}.EstimateSum(s)
+	want := 13000 + 1000*(3+7.0/6.0)/6
+	if math.Abs(est.Estimated-want) > 1e-9 {
+		t.Errorf("freq before = %.2f, want %.2f", est.Estimated, want)
+	}
+	if math.Abs(est.Estimated-13694.44) > 1 {
+		t.Errorf("freq before = %.2f, paper prints ~13694", est.Estimated)
+	}
+}
+
+// TestTable2BucketBefore: buckets {A,B} and {D}; estimate 14500, the
+// closest to the 14200 ground truth.
+func TestTable2BucketBefore(t *testing.T) {
+	s := toyBefore(t)
+	est := Bucket{}.EstimateSum(s)
+	if math.Abs(est.Estimated-14500) > 1e-9 {
+		t.Errorf("bucket before = %.2f, want 14500", est.Estimated)
+	}
+	buckets := Bucket{}.Buckets(s)
+	if len(buckets) != 2 {
+		t.Fatalf("bucket count = %d, want 2 (%v)", len(buckets), bucketRanges(buckets))
+	}
+	if buckets[0].Sample.C() != 2 || buckets[1].Sample.C() != 1 {
+		t.Errorf("bucket sizes = %d, %d; want {A,B} and {D}",
+			buckets[0].Sample.C(), buckets[1].Sample.C())
+	}
+}
+
+// TestTable2After checks the estimates after adding s5 under our
+// consistent semantics (n = 10). The paper's printed "after" column uses
+// n = 9 in the naive/freq denominators while stating n = 10 — see
+// EXPERIMENTS.md; the bucket estimate is unaffected and matches the
+// paper's 13950 exactly.
+func TestTable2After(t *testing.T) {
+	s := toyAfter(t)
+
+	naive := Naive{}.EstimateSum(s)
+	wantNaive := 13300 + 13300*1*4.0/(4*9) // gamma^2 = 0
+	if math.Abs(naive.Estimated-wantNaive) > 1e-9 {
+		t.Errorf("naive after = %.2f, want %.2f", naive.Estimated, wantNaive)
+	}
+
+	freq := Frequency{}.EstimateSum(s)
+	wantFreq := 13300 + 300*4.0/9
+	if math.Abs(freq.Estimated-wantFreq) > 1e-9 {
+		t.Errorf("freq after = %.2f, want %.2f", freq.Estimated, wantFreq)
+	}
+
+	bucket := Bucket{}.EstimateSum(s)
+	if math.Abs(bucket.Estimated-13950) > 1e-9 {
+		t.Errorf("bucket after = %.2f, want 13950 (paper Table 2)", bucket.Estimated)
+	}
+
+	// Ranking per the paper: bucket is closest to the 14200 ground truth.
+	truth := 14200.0
+	if math.Abs(bucket.Estimated-truth) >= math.Abs(naive.Estimated-truth) {
+		t.Errorf("bucket (%.0f) should beat naive (%.0f) on the toy example",
+			bucket.Estimated, naive.Estimated)
+	}
+}
+
+func TestNaiveEmptyAndDegenerate(t *testing.T) {
+	est := Naive{}.EstimateSum(freqstats.NewSample())
+	if est.Valid {
+		t.Error("empty sample produced a valid estimate")
+	}
+	// All singletons: flagged as diverged, finite numbers.
+	s := freqstats.NewSample()
+	for i := 0; i < 5; i++ {
+		mustAdd(t, s, fmt.Sprintf("e%d", i), float64(i+1)*10, "s")
+	}
+	est = Naive{}.EstimateSum(s)
+	if !est.Valid || !est.Diverged {
+		t.Errorf("flags: %+v", est)
+	}
+	if math.IsInf(est.Estimated, 0) || math.IsNaN(est.Estimated) {
+		t.Errorf("degenerate estimate not finite: %g", est.Estimated)
+	}
+}
+
+func TestFrequencyNoSingletons(t *testing.T) {
+	s := freqstats.NewSample()
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("e%d", i)
+		mustAdd(t, s, id, float64(i+1), "s1")
+		mustAdd(t, s, id, float64(i+1), "s2")
+	}
+	est := Frequency{}.EstimateSum(s)
+	if !est.Valid || est.Delta != 0 {
+		t.Errorf("no singletons should mean Delta = 0: %+v", est)
+	}
+	if est.Estimated != est.Observed {
+		t.Errorf("estimated %g != observed %g", est.Estimated, est.Observed)
+	}
+}
+
+func TestGoodTuringFrequency(t *testing.T) {
+	s := toyBefore(t)
+	est := GoodTuringFrequency{}.EstimateSum(s)
+	// Equation 10: Delta = phi_f1 * c / (n - f1) = 1000*3/6 = 500.
+	if math.Abs(est.Delta-500) > 1e-9 {
+		t.Errorf("GT-freq Delta = %g, want 500", est.Delta)
+	}
+	if est := (GoodTuringFrequency{}).EstimateSum(freqstats.NewSample()); est.Valid {
+		t.Error("empty sample valid")
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	tests := []struct {
+		est  SumEstimator
+		want string
+	}{
+		{Naive{}, "naive"},
+		{Frequency{}, "freq"},
+		{GoodTuringFrequency{}, "freq-gt"},
+		{Bucket{}, "bucket"},
+		{Bucket{Inner: Frequency{}}, "bucket(dynamic,freq)"},
+		{Bucket{Strategy: EquiWidth{K: 6}}, "bucket(eqwidth-6,naive)"},
+		{Bucket{Strategy: EquiHeight{K: 4}, Inner: Frequency{}}, "bucket(eqheight-4,freq)"},
+		{MonteCarlo{}, "mc"},
+	}
+	for _, tt := range tests {
+		if got := tt.est.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Naive's closed form (equation 8) must agree with the N-hat product form
+// (equation 3) on non-degenerate samples.
+func TestNaiveClosedFormEquivalence(t *testing.T) {
+	s := toyBefore(t)
+	est := Naive{}.EstimateSum(s)
+	n := float64(s.N())
+	c := float64(s.C())
+	f1 := float64(s.F1())
+	g2 := 1.0 / 6.0
+	closed := s.SumValues() * f1 * (c + g2*n) / (c * (n - f1))
+	if math.Abs(est.Delta-closed) > 1e-9 {
+		t.Errorf("product form %g != closed form %g", est.Delta, closed)
+	}
+}
+
+func mustAdd(t testing.TB, s *freqstats.Sample, id string, v float64, src string) {
+	t.Helper()
+	if err := s.Add(freqstats.Observation{EntityID: id, Value: v, Source: src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bucketRanges(bs []BucketResult) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = fmt.Sprintf("[%g,%g]c=%d", b.Lo, b.Hi, b.Sample.C())
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/freqstats"
+	"repro/internal/species"
+)
+
+// WithCountModel is a naive-style estimator (mean substitution) whose
+// unknown-count component is a pluggable species estimator, for ablating
+// the paper's choice of Chao92 against the alternatives the species
+// package provides (chao84, good-turing, jackknife1/2, ace).
+//
+// WithCountModel{Model: "chao92"} is exactly Naive{}.
+type WithCountModel struct {
+	// Model names the species estimator (see species.Names).
+	Model string
+}
+
+// Name implements SumEstimator.
+func (w WithCountModel) Name() string {
+	return fmt.Sprintf("naive[%s]", w.model())
+}
+
+func (w WithCountModel) model() string {
+	if w.Model == "" {
+		return "chao92"
+	}
+	return w.Model
+}
+
+// EstimateSum implements SumEstimator. Unknown model names yield an
+// invalid estimate rather than a panic, so ablation sweeps can be driven
+// by configuration.
+func (w WithCountModel) EstimateSum(s *freqstats.Sample) Estimate {
+	f, ok := species.ByName(w.model())
+	if !ok {
+		return Estimate{}
+	}
+	sp := f(s)
+	e := newEstimate(s, sp)
+	if !e.Valid {
+		return e
+	}
+	c := float64(s.C())
+	delta := e.Observed / c * (sp.N - c)
+	return finishEstimate(e, delta)
+}

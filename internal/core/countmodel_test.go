@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/species"
+)
+
+func TestWithCountModelDefaultsToChao92(t *testing.T) {
+	s := toyBefore(t)
+	naive := Naive{}.EstimateSum(s)
+	model := WithCountModel{}.EstimateSum(s)
+	if math.Abs(naive.Estimated-model.Estimated) > 1e-9 {
+		t.Errorf("default model %g != naive %g", model.Estimated, naive.Estimated)
+	}
+	if got := (WithCountModel{}).Name(); got != "naive[chao92]" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestWithCountModelAllModels(t *testing.T) {
+	s := toyBefore(t)
+	for _, name := range species.Names() {
+		est := WithCountModel{Model: name}.EstimateSum(s)
+		if !est.Valid {
+			t.Errorf("%s: invalid", name)
+			continue
+		}
+		if est.Estimated < est.Observed-1e-9 {
+			t.Errorf("%s: corrected %g below observed %g", name, est.Estimated, est.Observed)
+		}
+		if math.IsNaN(est.Estimated) || math.IsInf(est.Estimated, 0) {
+			t.Errorf("%s: not finite", name)
+		}
+	}
+}
+
+func TestWithCountModelGoodTuringMatchesHand(t *testing.T) {
+	// Good-Turing count on the toy: N-hat = c/C-hat = 3/(6/7) = 3.5.
+	// Delta = 13000/3 * 0.5 = 2166.67.
+	s := toyBefore(t)
+	est := WithCountModel{Model: "good-turing"}.EstimateSum(s)
+	want := 13000 + 13000.0/3*0.5
+	if math.Abs(est.Estimated-want) > 1e-9 {
+		t.Errorf("good-turing naive = %g, want %g", est.Estimated, want)
+	}
+}
+
+func TestWithCountModelUnknown(t *testing.T) {
+	s := toyBefore(t)
+	est := WithCountModel{Model: "bogus"}.EstimateSum(s)
+	if est.Valid {
+		t.Error("unknown model produced a valid estimate")
+	}
+	if est := (WithCountModel{Model: "chao92"}).EstimateSum(freqstats.NewSample()); est.Valid {
+		t.Error("empty sample valid")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/freqstats"
+	"repro/internal/species"
+)
+
+// Tracker maintains an online unknown-unknowns estimate as observations
+// stream in, and detects when the estimate has converged — the practical
+// question behind Figure 2 ("when can I stop paying for more crowd
+// answers?"). It re-estimates every Interval observations (estimation is
+// much more expensive than ingestion) and keeps a window of recent
+// estimates to measure stability.
+type Tracker struct {
+	// Estimator produces the tracked estimate; nil means Bucket{}.
+	Estimator SumEstimator
+	// Interval is the number of observations between re-estimations
+	// (default 25).
+	Interval int
+	// Window is the number of recent estimates used by Converged
+	// (default 5).
+	Window int
+
+	sample  *freqstats.Sample
+	history []Estimate
+	pending int
+}
+
+// NewTracker returns a tracker with the given estimator (nil for the
+// default bucket estimator).
+func NewTracker(est SumEstimator) *Tracker {
+	return &Tracker{Estimator: est, sample: freqstats.NewSample()}
+}
+
+func (t *Tracker) interval() int {
+	if t.Interval <= 0 {
+		return 25
+	}
+	return t.Interval
+}
+
+func (t *Tracker) window() int {
+	if t.Window <= 1 {
+		return 5
+	}
+	return t.Window
+}
+
+func (t *Tracker) estimator() SumEstimator {
+	if t.Estimator == nil {
+		return Bucket{}
+	}
+	return t.Estimator
+}
+
+// Add ingests one observation, re-estimating when the interval elapses.
+// The conflicting-value error mirrors Sample.Add.
+func (t *Tracker) Add(obs freqstats.Observation) error {
+	if t.sample == nil {
+		t.sample = freqstats.NewSample()
+	}
+	err := t.sample.Add(obs)
+	t.pending++
+	if t.pending >= t.interval() {
+		t.refresh()
+	}
+	return err
+}
+
+// refresh recomputes the estimate now, regardless of the interval.
+func (t *Tracker) refresh() {
+	t.pending = 0
+	t.history = append(t.history, t.estimator().EstimateSum(t.sample))
+	if max := 4 * t.window(); len(t.history) > max {
+		t.history = t.history[len(t.history)-max:]
+	}
+}
+
+// Estimate returns the current estimate, recomputing if observations
+// arrived since the last refresh.
+func (t *Tracker) Estimate() Estimate {
+	if t.sample == nil {
+		t.sample = freqstats.NewSample()
+	}
+	if t.pending > 0 || len(t.history) == 0 {
+		t.refresh()
+	}
+	return t.history[len(t.history)-1]
+}
+
+// N returns the number of observations ingested.
+func (t *Tracker) N() int {
+	if t.sample == nil {
+		return 0
+	}
+	return t.sample.N()
+}
+
+// Converged reports whether the corrected estimate has stabilized: the
+// last Window estimates are all valid, non-diverged, above the coverage
+// threshold, and their relative spread (max-min over mean magnitude) is
+// at most tol. A typical tol is 0.05.
+func (t *Tracker) Converged(tol float64) bool {
+	w := t.window()
+	if len(t.history) < w {
+		return false
+	}
+	recent := t.history[len(t.history)-w:]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, e := range recent {
+		if !e.Valid || e.Diverged || e.Coverage < species.MinReliableCoverage {
+			return false
+		}
+		if e.Estimated < lo {
+			lo = e.Estimated
+		}
+		if e.Estimated > hi {
+			hi = e.Estimated
+		}
+		sum += e.Estimated
+	}
+	mean := math.Abs(sum / float64(w))
+	if mean == 0 {
+		return hi-lo == 0
+	}
+	return (hi-lo)/mean <= tol
+}
+
+// History returns a copy of the retained estimate history (oldest first).
+func (t *Tracker) History() []Estimate {
+	out := make([]Estimate, len(t.history))
+	copy(out, t.history)
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func TestTrackerZeroValue(t *testing.T) {
+	var tr Tracker
+	if tr.N() != 0 {
+		t.Error("zero tracker not empty")
+	}
+	if tr.Converged(0.05) {
+		t.Error("empty tracker converged")
+	}
+	if err := tr.Add(freqstats.Observation{EntityID: "a", Value: 1, Source: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	est := tr.Estimate()
+	if !est.Valid {
+		t.Error("estimate after one observation invalid")
+	}
+}
+
+func TestTrackerDefaults(t *testing.T) {
+	tr := NewTracker(nil)
+	if tr.interval() != 25 || tr.window() != 5 {
+		t.Errorf("defaults: interval=%d window=%d", tr.interval(), tr.window())
+	}
+	if tr.estimator().Name() != "bucket" {
+		t.Errorf("default estimator = %s", tr.estimator().Name())
+	}
+}
+
+func TestTrackerRefreshCadence(t *testing.T) {
+	tr := NewTracker(Naive{})
+	tr.Interval = 10
+	for i := 0; i < 35; i++ {
+		id := string(rune('a' + i%7))
+		if err := tr.Add(freqstats.Observation{EntityID: id, Value: float64(i%7) * 10, Source: string(rune('A' + i%5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 35 observations at interval 10 => 3 scheduled refreshes.
+	if got := len(tr.History()); got != 3 {
+		t.Errorf("history length = %d, want 3", got)
+	}
+	// Estimate() forces a refresh for the 5 pending observations.
+	tr.Estimate()
+	if got := len(tr.History()); got != 4 {
+		t.Errorf("history after Estimate = %d, want 4", got)
+	}
+	// No pending observations: Estimate reuses the last refresh.
+	tr.Estimate()
+	if got := len(tr.History()); got != 4 {
+		t.Errorf("history after idle Estimate = %d, want 4", got)
+	}
+}
+
+func TestTrackerConvergesOnCompleteStream(t *testing.T) {
+	g, err := sim.NewGroundTruth(randx.New(1), sim.Config{N: 60, Lambda: 1, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(2), g, sim.IntegrationConfig{
+		NumSources: 30, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(Naive{})
+	tr.Interval = 20
+	convergedAt := -1
+	for i, o := range st.Observations {
+		if err := tr.Add(o); err != nil {
+			t.Fatal(err)
+		}
+		if convergedAt < 0 && tr.Converged(0.02) {
+			convergedAt = i + 1
+		}
+	}
+	if convergedAt < 0 {
+		t.Fatal("never converged on a stream that saturates the population")
+	}
+	// Convergence must not fire absurdly early (before a window of
+	// estimates even exists: window 5 x interval 20 = 100 observations).
+	if convergedAt < 100 {
+		t.Errorf("converged after only %d observations", convergedAt)
+	}
+	// And the converged estimate should be near the truth.
+	est := tr.Estimate()
+	truth := g.Sum()
+	if rel := abs64(est.Estimated-truth) / truth; rel > 0.1 {
+		t.Errorf("converged estimate %.0f is %.0f%% from truth %.0f", est.Estimated, rel*100, truth)
+	}
+}
+
+func TestTrackerNotConvergedEarly(t *testing.T) {
+	g, err := sim.NewGroundTruth(randx.New(3), sim.Config{N: 200, Lambda: 3, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Integrate(randx.New(4), g, sim.IntegrationConfig{
+		NumSources: 10, SourceSize: 8, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(Naive{})
+	tr.Interval = 5
+	for _, o := range st.Observations[:40] {
+		if err := tr.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 40 observations of a 200-item population: mostly singletons, low
+	// coverage; must not report convergence.
+	if tr.Converged(0.05) {
+		t.Error("converged on a low-coverage sample")
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,215 @@
+// Package dataset provides the workloads of the paper's evaluation
+// (Section 6): simulated stand-ins for the four crowdsourced AMT data sets
+// (US tech employment, US tech revenue, GDP per US state, Proton beam) and
+// the synthetic populations of Section 6.2.
+//
+// The real crowd answers are proprietary; what the estimators consume,
+// however, is only the observation multiset — which entity was reported how
+// often, with which value, by which source. Each simulated data set
+// reproduces the statistical phenomenon its real counterpart exercised:
+//
+//   - tech employment/revenue: heavy-tailed values with publicity-value
+//     correlation (big companies are well known),
+//   - GDP: a small fixed population (50 states) contaminated by a streaker,
+//   - proton beam: steady arrival of new unique items without streakers.
+//
+// All generation is deterministic for a given seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+// Dataset is a ready-to-replay experiment input.
+type Dataset struct {
+	// Name identifies the data set ("us-tech-employment", ...).
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Attr is the aggregated attribute name ("employees", "revenue", ...).
+	Attr string
+	// Truth is the hidden ground-truth population.
+	Truth *sim.GroundTruth
+	// Stream is the arrival-ordered observation stream.
+	Stream *sim.Stream
+}
+
+// TruthSum returns the ground-truth SUM, the red line of the paper's plots.
+func (d *Dataset) TruthSum() float64 { return d.Truth.Sum() }
+
+// USTechEmployment simulates the running example (Figures 2, 4):
+// SELECT SUM(employees) FROM us_tech_companies over a crowd of workers.
+// The population has numCompanies companies whose headcounts decay
+// exponentially from ~60k (the giants) to a handful (the startups), with
+// publicity strongly correlated to size. workers crowd workers each
+// contribute answersPerWorker companies sampled without replacement.
+func USTechEmployment(seed int64, numCompanies, workers, answersPerWorker int) (*Dataset, error) {
+	values := make([]float64, numCompanies)
+	for i := range values {
+		// Headcount decays from 60000 to ~5 across the ranked population.
+		values[i] = math.Round(60000*math.Exp(-7*float64(i)/float64(numCompanies))) + 5
+	}
+	return buildCrowd("us-tech-employment",
+		"simulated crowd collecting U.S. tech company employee counts",
+		"employees", seed, values, 3.0, 0.9, workers, answersPerWorker)
+}
+
+// USTechRevenue simulates Figure 5(a): company revenues (in $M) with an
+// even heavier tail and near-perfect publicity-value correlation, the
+// regime where naive and frequency overestimate dramatically.
+func USTechRevenue(seed int64, numCompanies, workers, answersPerWorker int) (*Dataset, error) {
+	values := make([]float64, numCompanies)
+	for i := range values {
+		// Revenue decays from ~200000 ($M) following a Pareto-like curve.
+		values[i] = math.Round(200000/math.Pow(float64(i+1), 0.9)*10) / 10
+	}
+	return buildCrowd("us-tech-revenue",
+		"simulated crowd collecting U.S. tech company revenues",
+		"revenue", seed, values, 3.5, 1.0, workers, answersPerWorker)
+}
+
+// stateGDP holds approximate 2014 GDP per U.S. state in $B. Absolute
+// accuracy is irrelevant (the ground truth is whatever the table says);
+// the realistic skew across states is what the experiment needs.
+var stateGDP = map[string]float64{
+	"California": 2310, "Texas": 1648, "New York": 1442, "Florida": 839,
+	"Illinois": 742, "Pennsylvania": 678, "Ohio": 583, "New Jersey": 560,
+	"North Carolina": 495, "Georgia": 474, "Virginia": 464,
+	"Massachusetts": 460, "Michigan": 451, "Washington": 425,
+	"Maryland": 350, "Indiana": 326, "Minnesota": 316, "Colorado": 306,
+	"Tennessee": 297, "Wisconsin": 294, "Arizona": 288, "Missouri": 284,
+	"Connecticut": 253, "Louisiana": 252, "Oregon": 215, "Alabama": 199,
+	"Oklahoma": 190, "South Carolina": 189, "Kentucky": 189, "Iowa": 170,
+	"Kansas": 144, "Utah": 140, "Nevada": 136, "Arkansas": 121,
+	"Nebraska": 110, "Mississippi": 105, "New Mexico": 92, "Hawaii": 77,
+	"West Virginia": 73, "New Hampshire": 70, "Delaware": 65, "Idaho": 64,
+	"Alaska": 57, "North Dakota": 56, "Maine": 55, "Rhode Island": 55,
+	"South Dakota": 46, "Montana": 44, "Wyoming": 40, "Vermont": 29,
+}
+
+// USGDP simulates Figure 5(b): a crowd enumerating the 50 U.S. states with
+// their GDP. The defining pathology is a streaker — one worker who floods
+// the sample with most of the states up front — which throws off every
+// Chao92-based estimator.
+func USGDP(seed int64, workers, answersPerWorker int) (*Dataset, error) {
+	items := make([]sim.Item, 0, len(stateGDP))
+	// Publicity proportional to GDP: big states come to mind first.
+	for name, gdp := range stateGDP {
+		items = append(items, sim.Item{ID: name, Value: gdp, Publicity: gdp})
+	}
+	// Map iteration order is random; fix a deterministic order by value
+	// then name so streams are reproducible.
+	sortItems(items)
+	truth := &sim.GroundTruth{Items: items}
+
+	rng := randx.New(seed)
+	base, err := sim.Integrate(rng, truth, sim.IntegrationConfig{
+		NumSources: workers, SourceSize: answersPerWorker, Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The streaker contributes nearly every state right at the start —
+	// "a single crowd-worker reported almost all answers in the beginning".
+	stream := sim.InjectStreaker(base, truth, 0, "streaker-worker")
+	return &Dataset{
+		Name:        "us-gdp",
+		Description: "simulated crowd enumerating U.S. states with GDP; a streaker floods the start",
+		Attr:        "gdp",
+		Truth:       truth,
+		Stream:      stream,
+	}, nil
+}
+
+// ProtonBeam simulates Figure 5(c): crowdsourced abstract screening of
+// medical studies, extracting the number of study participants. Most
+// studies are small cohorts with a few large trials; publicity is nearly
+// uniform (every article is equally likely to be screened next), so unique
+// items keep arriving steadily and no streakers occur.
+func ProtonBeam(seed int64, numStudies, workers, answersPerWorker int) (*Dataset, error) {
+	rng := randx.New(seed)
+	values := make([]float64, numStudies)
+	for i := range values {
+		// Cohort sizes: log-normal-ish between ~10 and ~2000 patients with
+		// occasional larger trials.
+		v := math.Exp(rng.NormFloat64()*1.1 + 4.5)
+		values[i] = math.Round(stats99(v))
+	}
+	return buildCrowd("proton-beam",
+		"simulated abstract screening: participants per proton-beam study",
+		"participants", seed+1, values, 0.3, 0.0, workers, answersPerWorker)
+}
+
+// stats99 caps extreme log-normal draws at 20000 participants, keeping the
+// synthetic corpus within the realistic range of clinical studies.
+func stats99(v float64) float64 {
+	if v < 5 {
+		return 5
+	}
+	if v > 20000 {
+		return 20000
+	}
+	return v
+}
+
+// Synthetic builds the Section 6.2 synthetic data set: n unique items with
+// values 10, 20, ..., 10n, publicity skew lambda and publicity-value
+// correlation rho, integrated over the given number of sources.
+func Synthetic(seed int64, n int, lambda, rho float64, sources, perSource int) (*Dataset, error) {
+	truth, err := sim.NewGroundTruth(randx.New(seed), sim.Config{N: n, Lambda: lambda, Rho: rho})
+	if err != nil {
+		return nil, err
+	}
+	stream, err := sim.Integrate(randx.New(seed+1), truth, sim.IntegrationConfig{
+		NumSources: sources, SourceSize: perSource, Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:        fmt.Sprintf("synthetic-n%d-l%g-r%g-w%d", n, lambda, rho, sources),
+		Description: "synthetic population per Section 6.2",
+		Attr:        "value",
+		Truth:       truth,
+		Stream:      stream,
+	}, nil
+}
+
+// buildCrowd assembles a crowd-style data set: a ground truth with the
+// given ranked values, exponential publicity skew lambda (paper scale) and
+// publicity-value correlation rho, sampled by the given worker pool.
+func buildCrowd(name, desc, attr string, seed int64, values []float64, lambda, rho float64, workers, answersPerWorker int) (*Dataset, error) {
+	if workers <= 0 || answersPerWorker <= 0 {
+		return nil, fmt.Errorf("dataset: %s: workers=%d answers=%d must be positive", name, workers, answersPerWorker)
+	}
+	truth, err := sim.NewGroundTruth(randx.New(seed), sim.Config{
+		N: len(values), Values: values, Lambda: lambda, Rho: rho,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream, err := sim.Integrate(randx.New(seed+17), truth, sim.IntegrationConfig{
+		NumSources: workers, SourceSize: answersPerWorker, Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: name, Description: desc, Attr: attr, Truth: truth, Stream: stream}, nil
+}
+
+// sortItems orders items by value descending, then by ID, for determinism.
+func sortItems(items []sim.Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0; j-- {
+			a, b := items[j-1], items[j]
+			if a.Value > b.Value || (a.Value == b.Value && a.ID <= b.ID) {
+				break
+			}
+			items[j-1], items[j] = b, a
+		}
+	}
+}

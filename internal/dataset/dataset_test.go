@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUSTechEmployment(t *testing.T) {
+	d, err := USTechEmployment(1, 500, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truth.N() != 500 {
+		t.Errorf("N = %d", d.Truth.N())
+	}
+	if d.Stream.Len() != 500 {
+		t.Errorf("stream len = %d", d.Stream.Len())
+	}
+	if d.TruthSum() <= 0 {
+		t.Error("non-positive truth sum")
+	}
+	// Heavy tail: the largest company dwarfs the median.
+	values := make([]float64, 0, d.Truth.N())
+	for _, it := range d.Truth.Items {
+		values = append(values, it.Value)
+	}
+	maxV, minV := values[0], values[0]
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	if maxV < 1000*minV {
+		t.Errorf("tail not heavy: max %g, min %g", maxV, minV)
+	}
+}
+
+func TestUSTechEmploymentDeterministic(t *testing.T) {
+	a, err := USTechEmployment(7, 300, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := USTechEmployment(7, 300, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TruthSum() != b.TruthSum() {
+		t.Error("truth not deterministic")
+	}
+	for i := range a.Stream.Observations {
+		if a.Stream.Observations[i] != b.Stream.Observations[i] {
+			t.Fatalf("stream differs at %d", i)
+		}
+	}
+}
+
+func TestUSTechRevenueCorrelation(t *testing.T) {
+	d, err := USTechRevenue(2, 400, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rho = 1: publicity order must equal value order.
+	items := d.Truth.Items
+	for i := range items {
+		for j := i + 1; j < len(items); j++ {
+			if items[i].Publicity > items[j].Publicity && items[i].Value < items[j].Value {
+				t.Fatalf("correlation violated between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestUSGDP(t *testing.T) {
+	d, err := USGDP(3, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truth.N() != 50 {
+		t.Fatalf("states = %d, want 50", d.Truth.N())
+	}
+	// Ground truth sum is the fixed table total.
+	var want float64
+	for _, gdp := range stateGDP {
+		want += gdp
+	}
+	if math.Abs(d.TruthSum()-want) > 1e-9 {
+		t.Errorf("truth sum = %g, want %g", d.TruthSum(), want)
+	}
+	// The streaker owns the start of the stream.
+	if d.Stream.Observations[0].Source != "streaker-worker" {
+		t.Errorf("first observation from %q", d.Stream.Observations[0].Source)
+	}
+	// After the streaker's run, all 50 states are known.
+	s, err := d.Stream.Prefix(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 50 {
+		t.Errorf("c after streaker = %d", s.C())
+	}
+}
+
+func TestProtonBeam(t *testing.T) {
+	d, err := ProtonBeam(4, 300, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truth.N() != 300 {
+		t.Errorf("N = %d", d.Truth.N())
+	}
+	for _, it := range d.Truth.Items {
+		if it.Value < 5 || it.Value > 20000 {
+			t.Errorf("cohort size %g outside [5, 20000]", it.Value)
+		}
+	}
+	// Near-uniform publicity: unique items arrive steadily. At half the
+	// stream, coverage of uniques should be substantial but not complete.
+	s, err := d.Stream.Prefix(d.Stream.Len() / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(s.C()) / 300
+	if frac < 0.3 || frac > 0.95 {
+		t.Errorf("unique fraction at half stream = %.2f", frac)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	d, err := Synthetic(5, 100, 4, 1, 20, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truth.N() != 100 {
+		t.Errorf("N = %d", d.Truth.N())
+	}
+	// Values are the 10..1000 grid.
+	if d.TruthSum() != 50500 {
+		t.Errorf("truth sum = %g, want 50500", d.TruthSum())
+	}
+	if d.Stream.Len() != 300 {
+		t.Errorf("stream len = %d", d.Stream.Len())
+	}
+}
+
+func TestBuildCrowdValidation(t *testing.T) {
+	if _, err := USTechEmployment(1, 100, 0, 10); err == nil {
+		t.Error("zero workers not reported")
+	}
+	if _, err := ProtonBeam(1, 100, 10, 0); err == nil {
+		t.Error("zero answers not reported")
+	}
+}
+
+// End-to-end sanity: on the employment data set the bucket estimator's
+// final estimate should be closer to the truth than naive's — the paper's
+// Figure 4 ranking.
+func TestEmploymentEstimatorRanking(t *testing.T) {
+	d, err := USTechEmployment(11, 500, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Stream.Prefix(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := d.TruthSum()
+	naive := core.Naive{}.EstimateSum(s)
+	bucket := core.Bucket{}.EstimateSum(s)
+	naiveErr := math.Abs(naive.Estimated - truth)
+	bucketErr := math.Abs(bucket.Estimated - truth)
+	if bucketErr >= naiveErr {
+		t.Errorf("bucket error %.0f not below naive error %.0f (truth %.0f)",
+			bucketErr, naiveErr, truth)
+	}
+	// Naive should overestimate (publicity-value correlation).
+	if naive.Estimated <= s.SumValues() {
+		t.Errorf("naive did not raise the observed sum")
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/species"
+	"repro/internal/sqlparse"
+)
+
+// Diagnosis is an EXPLAIN-style health report of an integrated table: how
+// complete the integration looks and whether the estimators' assumptions
+// hold on it.
+type Diagnosis struct {
+	// Table is the diagnosed table name.
+	Table string
+	// Observations and UniqueEntities are |S| and |K| = c.
+	Observations   int
+	UniqueEntities int
+	// Coverage is the Good-Turing sample coverage; Reliable is coverage
+	// >= the 40% threshold of Section 6.5.
+	Coverage float64
+	Reliable bool
+	// EstimatedTotal is the Chao92 estimate of the ground-truth entity
+	// count (the open-world COUNT).
+	EstimatedTotal float64
+	// FStatistics is the frequency-of-frequencies {j: f_j}, the raw
+	// signal every estimator reads.
+	FStatistics map[int]int
+	// Sources summarizes per-source contributions, largest first.
+	Sources []SourceShare
+	// Streaker is true when one source dominates (Section 6.3) and the
+	// Monte-Carlo estimator should be preferred.
+	Streaker bool
+	// FewSources is true below the ~5-source threshold of Appendix E.
+	FewSources bool
+	// Advice is the recommendation of Section 6.5 for this table.
+	Advice string
+}
+
+// SourceShare is one source's contribution.
+type SourceShare struct {
+	Source string
+	Count  int
+	Share  float64 // fraction of |S|
+}
+
+// Diagnose inspects the sample over the given numeric attribute (or the
+// whole table when attr is empty, COUNT(*)-style) and reports integration
+// health.
+func Diagnose(t *Table, attr string) (*Diagnosis, error) {
+	sample, err := t.Sample(attr, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diagnosis{
+		Table:          t.Name(),
+		Observations:   sample.N(),
+		UniqueEntities: sample.C(),
+		FStatistics:    sample.FStatistics(),
+	}
+	if cov, ok := species.Coverage(sample); ok {
+		d.Coverage = cov
+		d.Reliable = cov >= species.MinReliableCoverage
+	}
+	if est := species.Chao92(sample); est.Valid {
+		d.EstimatedTotal = est.N
+	}
+
+	// Per-source shares from the table's lineage (exact, unlike the
+	// scaled approximation in Sample.Filter).
+	t.mu.RLock()
+	counts := map[string]int{}
+	for _, srcs := range t.lineage {
+		for s := range srcs {
+			counts[s]++
+		}
+	}
+	t.mu.RUnlock()
+	for s, c := range counts {
+		share := 0.0
+		if d.Observations > 0 {
+			share = float64(c) / float64(d.Observations)
+		}
+		d.Sources = append(d.Sources, SourceShare{Source: s, Count: c, Share: share})
+	}
+	sort.Slice(d.Sources, func(i, j int) bool {
+		if d.Sources[i].Count != d.Sources[j].Count {
+			return d.Sources[i].Count > d.Sources[j].Count
+		}
+		return d.Sources[i].Source < d.Sources[j].Source
+	})
+	if len(d.Sources) >= MinSourcesForBalance {
+		d.Streaker = streakyShare(d.Sources[0].Count, d.Observations, len(d.Sources))
+	}
+	d.FewSources = len(d.Sources) < MinSourcesForBalance
+
+	switch {
+	case d.UniqueEntities == 0:
+		d.Advice = "table is empty; nothing to estimate"
+	case !d.Reliable:
+		d.Advice = fmt.Sprintf("coverage %.0f%% is below 40%%: collect more data before trusting any estimate", d.Coverage*100)
+	case d.Streaker || d.FewSources:
+		d.Advice = "source contributions are imbalanced or too few: prefer the Monte-Carlo estimator"
+	default:
+		d.Advice = "sources contribute evenly: prefer the bucket estimator"
+	}
+	return d, nil
+}
+
+// String renders the diagnosis as a compact multi-line report.
+func (d *Diagnosis) String() string {
+	out := fmt.Sprintf("table %q: %d observations, %d unique entities, coverage %.1f%% (Chao92 total %.1f)\n",
+		d.Table, d.Observations, d.UniqueEntities, d.Coverage*100, d.EstimatedTotal)
+	shown := d.Sources
+	if len(shown) > 5 {
+		shown = shown[:5]
+	}
+	for _, s := range shown {
+		out += fmt.Sprintf("  source %-16s %5d observations (%.0f%%)\n", s.Source, s.Count, s.Share*100)
+	}
+	if len(d.Sources) > 5 {
+		out += fmt.Sprintf("  ... and %d more sources\n", len(d.Sources)-5)
+	}
+	out += "advice: " + d.Advice
+	return out
+}
+
+// DiagnoseSQL parses "table" or "table.attr" and diagnoses accordingly —
+// convenience for CLI use.
+func (db *DB) DiagnoseSQL(target string) (*Diagnosis, error) {
+	table, attr := target, ""
+	for i := 0; i < len(target); i++ {
+		if target[i] == '.' {
+			table, attr = target[:i], target[i+1:]
+			break
+		}
+	}
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", table)
+	}
+	if attr != "" {
+		if col, ok := t.Schema().Column(attr); !ok || col.Type != TypeFloat {
+			return nil, fmt.Errorf("engine: %q is not a numeric column of %q", attr, table)
+		}
+	}
+	return Diagnose(t, attr)
+}
+
+// ensure sqlparse stays linked for the Row interface documented above.
+var _ sqlparse.Row = Record{}

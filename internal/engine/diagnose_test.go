@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func TestDiagnoseToy(t *testing.T) {
+	db := toyDB(t, true)
+	tbl, _ := db.Table("companies")
+	d, err := Diagnose(tbl, "employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Observations != 10 || d.UniqueEntities != 4 {
+		t.Errorf("n=%d c=%d", d.Observations, d.UniqueEntities)
+	}
+	if d.Coverage < 0.89 || d.Coverage > 0.91 {
+		t.Errorf("coverage = %g, want 0.9", d.Coverage)
+	}
+	// Five sources meets the Appendix E threshold exactly.
+	if d.FewSources {
+		t.Error("5 sources flagged as few; the threshold is >= 5")
+	}
+	if d.FStatistics[1] != 1 || d.FStatistics[4] != 1 {
+		t.Errorf("f-stats = %v", d.FStatistics)
+	}
+	// D contributes to 4 sources; the largest share is s1 (3 entities)...
+	// verify ordering is by count descending.
+	for i := 1; i < len(d.Sources); i++ {
+		if d.Sources[i].Count > d.Sources[i-1].Count {
+			t.Errorf("sources not sorted: %v", d.Sources)
+		}
+	}
+	if !strings.Contains(d.String(), "companies") {
+		t.Error("String() missing table name")
+	}
+}
+
+func TestDiagnoseAdvice(t *testing.T) {
+	// Empty table.
+	var db DB
+	tbl, err := db.CreateTable("t", Schema{{Name: "v", Type: TypeFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diagnose(tbl, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Advice, "empty") {
+		t.Errorf("advice = %q", d.Advice)
+	}
+
+	// Low coverage: many singletons.
+	for i := 0; i < 20; i++ {
+		id := string(rune('a' + i))
+		if err := tbl.Insert(id, "w"+id, map[string]sqlparse.Value{"v": sqlparse.Number(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err = Diagnose(tbl, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reliable {
+		t.Error("all-singleton table marked reliable")
+	}
+	if !strings.Contains(d.Advice, "collect more data") {
+		t.Errorf("advice = %q", d.Advice)
+	}
+}
+
+func TestDiagnoseStreaker(t *testing.T) {
+	var db DB
+	tbl, err := db.CreateTable("t", Schema{{Name: "v", Type: TypeFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One streaker reports 30 entities; five small sources report 3 each
+	// (overlapping the streaker's, so coverage stays high).
+	for i := 0; i < 30; i++ {
+		id := string(rune('A' + i))
+		if err := tbl.Insert(id, "streaker", map[string]sqlparse.Value{"v": sqlparse.Number(float64(i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 6; i++ {
+			id := string(rune('A' + (w*6+i)%30))
+			if err := tbl.Insert(id, string(rune('a'+w)), map[string]sqlparse.Value{"v": sqlparse.Number(float64((w*6+i)%30 + 1))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d, err := Diagnose(tbl, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Streaker {
+		t.Errorf("streaker not detected: %+v", d.Sources[0])
+	}
+	if !strings.Contains(d.Advice, "Monte-Carlo") {
+		t.Errorf("advice = %q", d.Advice)
+	}
+	if d.Sources[0].Source != "streaker" {
+		t.Errorf("top source = %q", d.Sources[0].Source)
+	}
+}
+
+func TestDiagnoseSQL(t *testing.T) {
+	db := toyDB(t, false)
+	d, err := db.DiagnoseSQL("companies.employees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Table != "companies" {
+		t.Errorf("table = %q", d.Table)
+	}
+	if _, err := db.DiagnoseSQL("ghosts"); err == nil {
+		t.Error("unknown table not reported")
+	}
+	if _, err := db.DiagnoseSQL("companies.name"); err == nil {
+		t.Error("non-numeric column not reported")
+	}
+	// Bare table form (COUNT-star style).
+	if _, err := db.DiagnoseSQL("companies"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/freqstats"
+	"repro/internal/species"
+	"repro/internal/sqlparse"
+)
+
+// DB is a catalog of tables. The zero value is an empty database ready to
+// use.
+type DB struct {
+	tables map[string]*Table
+	// Estimators are the unknown-unknowns estimators attached to query
+	// results; nil means DefaultEstimators.
+	Estimators []core.SumEstimator
+}
+
+// DefaultEstimators returns the paper's four SUM estimators in their
+// default configurations.
+func DefaultEstimators() []core.SumEstimator {
+	return []core.SumEstimator{
+		core.Naive{},
+		core.Frequency{},
+		core.Bucket{},
+		core.MonteCarlo{},
+	}
+}
+
+// CreateTable creates and registers a new table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	if db.tables == nil {
+		db.tables = make(map[string]*Table)
+	}
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// DropTable removes a table from the catalog. It returns an error if the
+// table does not exist; handles obtained earlier keep working but the
+// table no longer answers queries through the database.
+func (db *DB) DropTable(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// TableNames returns the registered table names, sorted.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is an open-world query answer: the traditional (closed-world)
+// observed value plus everything the paper's techniques can say about the
+// unknown unknowns.
+type Result struct {
+	// Query is the parsed query that was executed.
+	Query *sqlparse.Query
+	// Observed is the closed-world answer over the integrated database K.
+	Observed float64
+	// Estimates holds each estimator's corrected answer, keyed by
+	// estimator name. Populated for SUM, COUNT and AVG queries.
+	Estimates map[string]core.Estimate
+	// Bound is the Section 4 upper bound; only meaningful for SUM.
+	Bound core.BoundResult
+	// CountInterval is the Chao87 log-normal 95% confidence interval on
+	// the unique-entity count; only set for COUNT queries.
+	CountInterval *species.CountInterval
+	// Extreme is the MIN/MAX trust analysis; only set for MIN/MAX queries.
+	Extreme *core.ExtremeResult
+	// Coverage is the Good-Turing sample coverage of the predicate's
+	// sub-population.
+	Coverage float64
+	// Warnings lists human-readable caveats (low coverage, divergence,
+	// streaker suspicion).
+	Warnings []string
+	// Sample is the observation multiset the estimates were computed
+	// from, for callers that want to drill down.
+	Sample *freqstats.Sample
+	// Groups holds per-group results for GROUP BY queries (the scalar
+	// fields above are then zero — each group carries its own numbers).
+	Groups []GroupResult
+}
+
+// GroupResult is one group of a GROUP BY query result.
+type GroupResult struct {
+	// Key is the grouping column's value.
+	Key sqlparse.Value
+	// Result is the group's open-world aggregate result.
+	Result *Result
+}
+
+// Best returns the estimate the paper's Section 6.5 guidance would pick:
+// the bucket estimator when sources contribute evenly, the Monte-Carlo
+// estimate when the source contributions are imbalanced (streakers).
+func (r *Result) Best() (core.Estimate, string, bool) {
+	if len(r.Estimates) == 0 {
+		return core.Estimate{}, "", false
+	}
+	name := "bucket"
+	if r.streakerSuspected() {
+		name = "mc"
+	}
+	if e, ok := r.Estimates[name]; ok {
+		return e, name, true
+	}
+	// Fall back to any present estimator, in a deterministic order.
+	names := make([]string, 0, len(r.Estimates))
+	for n := range r.Estimates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return r.Estimates[names[0]], names[0], true
+}
+
+// streakerSuspected reports whether one source contributed an outsized
+// share of the observations: either more than StreakerShare of |S|
+// outright, or more than StreakerFairShareFactor times its fair share n/l
+// (a source 5x above average is a streaker even when diluted among many
+// sources, as in the paper's GDP experiment).
+func (r *Result) streakerSuspected() bool {
+	if r.Sample == nil {
+		return false
+	}
+	sizes := r.Sample.SourceSizes()
+	if len(sizes) < MinSourcesForBalance {
+		return true // too few sources: with-replacement approximation is off
+	}
+	n := r.Sample.N()
+	if n == 0 {
+		return false
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	return streakyShare(maxSize, n, len(sizes))
+}
+
+// streakyShare is the shared streaker criterion for results and
+// diagnoses.
+func streakyShare(maxSize, n, sources int) bool {
+	if n == 0 || sources == 0 {
+		return false
+	}
+	if float64(maxSize) >= StreakerShare*float64(n) {
+		return true
+	}
+	fair := float64(n) / float64(sources)
+	return float64(maxSize) >= StreakerFairShareFactor*fair
+}
+
+// StreakerShare is the fraction of |S| a single source must contribute to
+// be considered a streaker outright.
+const StreakerShare = 0.33
+
+// StreakerFairShareFactor is how many times its fair share (|S|/l) a
+// source must exceed to be considered a streaker among many sources.
+const StreakerFairShareFactor = 5.0
+
+// MinSourcesForBalance is the minimum number of sources for the
+// with-replacement approximation to be considered sound (the paper's
+// Appendix E finds ~5 sources often suffice).
+const MinSourcesForBalance = 5
+
+// Query parses and executes an aggregate query in the open world.
+func (db *DB) Query(sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Execute(q)
+}
+
+// Execute runs a parsed query.
+func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", q.Table)
+	}
+	attr := q.Attr
+	if attr == "*" {
+		attr = ""
+	}
+	if q.GroupBy != "" {
+		groups, err := t.GroupedSamples(attr, q.GroupBy, q.Where)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Query: q}
+		for _, g := range groups {
+			sub, err := db.executeOnSample(q, g.Sample)
+			if err != nil {
+				return nil, err
+			}
+			res.Groups = append(res.Groups, GroupResult{Key: g.Key, Result: sub})
+		}
+		if len(res.Groups) == 0 {
+			res.Warnings = []string{"no records match the predicate; estimates are meaningless"}
+		}
+		return res, nil
+	}
+	sample, err := t.Sample(attr, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	return db.executeOnSample(q, sample)
+}
+
+// executeOnSample runs the aggregate and all estimators over one
+// observation multiset (the whole table or one GROUP BY group).
+func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Result, error) {
+	res := &Result{
+		Query:     q,
+		Estimates: make(map[string]core.Estimate),
+		Sample:    sample,
+	}
+	if cov, ok := species.Coverage(sample); ok {
+		res.Coverage = cov
+	}
+
+	estimators := db.Estimators
+	if estimators == nil {
+		estimators = DefaultEstimators()
+	}
+
+	switch q.Agg {
+	case sqlparse.AggSum:
+		res.Observed = sample.SumValues()
+		for _, est := range estimators {
+			res.Estimates[est.Name()] = est.EstimateSum(sample)
+		}
+		res.Bound = core.UpperBound{}.Bound(sample)
+	case sqlparse.AggCount:
+		res.Observed = float64(sample.C())
+		for _, est := range estimators {
+			res.Estimates[est.Name()] = core.CountEstimate(est, sample)
+		}
+		if iv := species.Chao84Interval(sample, 1.96); iv.Valid {
+			res.CountInterval = &iv
+		}
+	case sqlparse.AggAvg:
+		if sample.C() > 0 {
+			res.Observed = sample.SumValues() / float64(sample.C())
+		}
+		for _, est := range estimators {
+			res.Estimates[est.Name()] = core.AvgEstimate(est, sample)
+		}
+	case sqlparse.AggMin, sqlparse.AggMax:
+		bucket := findBucket(estimators)
+		var ext core.ExtremeResult
+		if q.Agg == sqlparse.AggMin {
+			ext = core.MinEstimate(bucket, sample)
+		} else {
+			ext = core.MaxEstimate(bucket, sample)
+		}
+		res.Extreme = &ext
+		res.Observed = ext.Observed
+	case sqlparse.AggMedian:
+		qr, err := core.MedianEstimate(findBucket(estimators), sample)
+		if err != nil {
+			return nil, err
+		}
+		res.Observed = qr.Observed
+		res.Estimates["median"] = core.Estimate{
+			Delta:          qr.Estimated - qr.Observed,
+			Observed:       qr.Observed,
+			Estimated:      qr.Estimated,
+			CountObserved:  sample.C(),
+			CountEstimated: qr.CountEstimated,
+			Coverage:       res.Coverage,
+			Valid:          qr.Valid,
+			Diverged:       qr.Diverged,
+			LowCoverage:    qr.LowCoverage,
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported aggregate %q", q.Agg)
+	}
+
+	res.Warnings = db.warnings(res)
+	return res, nil
+}
+
+func findBucket(estimators []core.SumEstimator) core.Bucket {
+	for _, est := range estimators {
+		if b, ok := est.(core.Bucket); ok {
+			return b
+		}
+	}
+	return core.Bucket{}
+}
+
+func (db *DB) warnings(res *Result) []string {
+	var w []string
+	s := res.Sample
+	if s.C() == 0 {
+		return []string{"no records match the predicate; estimates are meaningless"}
+	}
+	if res.Coverage < species.MinReliableCoverage {
+		w = append(w, fmt.Sprintf(
+			"sample coverage %.0f%% is below the %.0f%% threshold; estimates are unreliable (paper Section 6.5)",
+			res.Coverage*100, species.MinReliableCoverage*100))
+	}
+	if s.NumSources() < MinSourcesForBalance {
+		w = append(w, fmt.Sprintf(
+			"only %d data source(s); the with-replacement approximation needs ~%d or more (paper Appendix E)",
+			s.NumSources(), MinSourcesForBalance))
+	}
+	if res.streakerSuspected() && s.NumSources() >= MinSourcesForBalance {
+		w = append(w, "a single source dominates the sample (streaker); prefer the Monte-Carlo estimate (paper Section 6.3)")
+	}
+	for name, e := range res.Estimates {
+		if e.Diverged {
+			w = append(w, fmt.Sprintf("estimator %q hit a degenerate regime (pure singletons); its numbers use a fallback", name))
+		}
+	}
+	sort.Strings(w)
+	return w
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/csvio"
+	"repro/internal/freqstats"
+	"repro/internal/sqlparse"
+)
+
+// LoadObservations inserts an observation stream into a table, mapping
+// each observation's value to the given numeric column and its entity ID
+// to an optional label column. The table must have been created with those
+// columns. Value conflicts are counted, not fatal (Table.Insert keeps the
+// first value). Returns the number of conflicts.
+func LoadObservations(t *Table, obs []freqstats.Observation, valueColumn, labelColumn string) (int, error) {
+	if col, ok := t.Schema().Column(valueColumn); !ok || col.Type != TypeFloat {
+		return 0, fmt.Errorf("engine: table %q needs a FLOAT column %q", t.Name(), valueColumn)
+	}
+	if labelColumn != "" {
+		if col, ok := t.Schema().Column(labelColumn); !ok || col.Type != TypeString {
+			return 0, fmt.Errorf("engine: table %q needs a STRING column %q", t.Name(), labelColumn)
+		}
+	}
+	conflicts := 0
+	for _, o := range obs {
+		attrs := map[string]sqlparse.Value{valueColumn: sqlparse.Number(o.Value)}
+		if labelColumn != "" {
+			attrs[labelColumn] = sqlparse.StringValue(o.EntityID)
+		}
+		if err := t.Insert(o.EntityID, o.Source, attrs); err != nil {
+			conflicts++
+		}
+	}
+	return conflicts, nil
+}
+
+// LoadCSVTable creates a table from a CSV observation file: a fresh table
+// named tableName with columns "name" (STRING) and valueColumn (FLOAT) is
+// created in db and filled from the stream. Returns the table and the
+// number of value conflicts.
+func LoadCSVTable(db *DB, tableName, valueColumn string, r io.Reader, opts csvio.Options) (*Table, int, error) {
+	obs, err := csvio.ReadObservations(r, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := db.CreateTable(tableName, Schema{
+		{Name: "name", Type: TypeString},
+		{Name: valueColumn, Type: TypeFloat},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	conflicts, err := LoadObservations(t, obs, valueColumn, "name")
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, conflicts, nil
+}

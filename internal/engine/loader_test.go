@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/csvio"
+	"repro/internal/freqstats"
+)
+
+func TestLoadObservations(t *testing.T) {
+	var db DB
+	tbl, err := db.CreateTable("t", Schema{
+		{Name: "name", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []freqstats.Observation{
+		{EntityID: "a", Value: 1, Source: "s1"},
+		{EntityID: "a", Value: 1, Source: "s2"},
+		{EntityID: "b", Value: 2, Source: "s1"},
+		{EntityID: "a", Value: 9, Source: "s3"}, // conflict
+	}
+	conflicts, err := LoadObservations(tbl, obs, "v", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", conflicts)
+	}
+	if tbl.NumRecords() != 2 || tbl.NumObservations() != 4 {
+		t.Errorf("records=%d obs=%d", tbl.NumRecords(), tbl.NumObservations())
+	}
+	res, err := db.Query("SELECT SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != 3 {
+		t.Errorf("sum = %g, want 3 (first value kept)", res.Observed)
+	}
+}
+
+func TestLoadObservationsValidation(t *testing.T) {
+	var db DB
+	tbl, err := db.CreateTable("t", Schema{{Name: "v", Type: TypeFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadObservations(tbl, nil, "missing", ""); err == nil {
+		t.Error("missing value column not reported")
+	}
+	if _, err := LoadObservations(tbl, nil, "v", "missing"); err == nil {
+		t.Error("missing label column not reported")
+	}
+	// Without a label column it works.
+	if _, err := LoadObservations(tbl, []freqstats.Observation{
+		{EntityID: "a", Value: 1, Source: "s"},
+	}, "v", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSVTable(t *testing.T) {
+	var db DB
+	in := "entity,value,source\nA,1000,s1\nB,2000,s1\nA,1000,s2\n"
+	tbl, conflicts, err := LoadCSVTable(&db, "companies", "employees", strings.NewReader(in), csvio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicts != 0 {
+		t.Errorf("conflicts = %d", conflicts)
+	}
+	if tbl.NumRecords() != 2 {
+		t.Errorf("records = %d", tbl.NumRecords())
+	}
+	res, err := db.Query("SELECT SUM(employees) FROM companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != 3000 {
+		t.Errorf("sum = %g", res.Observed)
+	}
+	// Name column carries the entity label for predicates.
+	res, err = db.Query("SELECT SUM(employees) FROM companies WHERE name = 'A'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != 1000 {
+		t.Errorf("filtered sum = %g", res.Observed)
+	}
+}
+
+func TestLoadCSVTableErrors(t *testing.T) {
+	var db DB
+	if _, _, err := LoadCSVTable(&db, "t", "v", strings.NewReader("junk"), csvio.Options{}); err == nil {
+		t.Error("bad CSV not reported")
+	}
+	in := "entity,value,source\nA,1,s1\n"
+	if _, _, err := LoadCSVTable(&db, "dup", "v", strings.NewReader(in), csvio.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCSVTable(&db, "dup", "v", strings.NewReader(in), csvio.Options{}); err == nil {
+		t.Error("duplicate table not reported")
+	}
+}

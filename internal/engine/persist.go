@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sqlparse"
+)
+
+// Snapshot serialization: a DB (tables, schemas, records, lineage) can be
+// written to and restored from a JSON snapshot, so integrated data sets
+// survive process restarts and can be shipped between tools
+// (`uuquery`-built databases, test fixtures, ...). The format is
+// versioned; readers reject snapshots from a newer major version.
+
+// snapshotVersion is the current snapshot format version.
+const snapshotVersion = 1
+
+type snapshotDB struct {
+	Version int             `json:"version"`
+	Tables  []snapshotTable `json:"tables"`
+}
+
+type snapshotTable struct {
+	Name    string           `json:"name"`
+	Schema  []snapshotColumn `json:"schema"`
+	Records []snapshotRecord `json:"records"`
+}
+
+type snapshotColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type snapshotRecord struct {
+	Entity  string                   `json:"entity"`
+	Attrs   map[string]snapshotValue `json:"attrs"`
+	Sources []string                 `json:"sources"`
+}
+
+type snapshotValue struct {
+	Kind string   `json:"kind"`
+	Num  *float64 `json:"num,omitempty"`
+	Str  *string  `json:"str,omitempty"`
+	Bool *bool    `json:"bool,omitempty"`
+}
+
+func encodeValue(v sqlparse.Value) snapshotValue {
+	switch v.Kind {
+	case sqlparse.ValueNumber:
+		return snapshotValue{Kind: "number", Num: &v.Num}
+	case sqlparse.ValueString:
+		return snapshotValue{Kind: "string", Str: &v.Str}
+	case sqlparse.ValueBool:
+		return snapshotValue{Kind: "bool", Bool: &v.Bool}
+	default:
+		return snapshotValue{Kind: "null"}
+	}
+}
+
+func decodeValue(v snapshotValue) (sqlparse.Value, error) {
+	switch v.Kind {
+	case "number":
+		if v.Num == nil {
+			return sqlparse.Value{}, fmt.Errorf("engine: snapshot number without num field")
+		}
+		return sqlparse.Number(*v.Num), nil
+	case "string":
+		if v.Str == nil {
+			return sqlparse.Value{}, fmt.Errorf("engine: snapshot string without str field")
+		}
+		return sqlparse.StringValue(*v.Str), nil
+	case "bool":
+		if v.Bool == nil {
+			return sqlparse.Value{}, fmt.Errorf("engine: snapshot bool without bool field")
+		}
+		return sqlparse.BoolValue(*v.Bool), nil
+	case "null":
+		return sqlparse.Null(), nil
+	default:
+		return sqlparse.Value{}, fmt.Errorf("engine: snapshot value kind %q unknown", v.Kind)
+	}
+}
+
+func encodeColumnType(t ColumnType) string {
+	switch t {
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	default:
+		return "unknown"
+	}
+}
+
+func decodeColumnType(s string) (ColumnType, error) {
+	switch s {
+	case "float":
+		return TypeFloat, nil
+	case "string":
+		return TypeString, nil
+	case "bool":
+		return TypeBool, nil
+	default:
+		return 0, fmt.Errorf("engine: snapshot column type %q unknown", s)
+	}
+}
+
+// Save writes a JSON snapshot of every table (schema, records, lineage).
+// Estimator configuration is not part of the snapshot — it belongs to the
+// session, not the data.
+func (db *DB) Save(w io.Writer) error {
+	snap := snapshotDB{Version: snapshotVersion}
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		t.mu.RLock()
+		st := snapshotTable{Name: t.name}
+		for _, c := range t.schema {
+			st.Schema = append(st.Schema, snapshotColumn{Name: c.Name, Type: encodeColumnType(c.Type)})
+		}
+		for _, id := range t.order {
+			rec := t.records[id]
+			sr := snapshotRecord{Entity: id, Attrs: map[string]snapshotValue{}}
+			for k, v := range rec.Attrs {
+				sr.Attrs[k] = encodeValue(v)
+			}
+			for src := range t.lineage[id] {
+				sr.Sources = append(sr.Sources, src)
+			}
+			sort.Strings(sr.Sources)
+			st.Records = append(st.Records, sr)
+		}
+		t.mu.RUnlock()
+		snap.Tables = append(snap.Tables, st)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load restores tables from a JSON snapshot into an empty (or partially
+// filled) database; it fails on table name collisions and leaves the
+// database unchanged on any error by staging into a scratch DB first.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshotDB
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("engine: decoding snapshot: %w", err)
+	}
+	if snap.Version > snapshotVersion {
+		return fmt.Errorf("engine: snapshot version %d is newer than supported %d", snap.Version, snapshotVersion)
+	}
+	var staged DB
+	for _, st := range snap.Tables {
+		if _, exists := db.tables[st.Name]; exists {
+			return fmt.Errorf("engine: snapshot table %q already exists", st.Name)
+		}
+		schema := make(Schema, 0, len(st.Schema))
+		for _, c := range st.Schema {
+			ct, err := decodeColumnType(c.Type)
+			if err != nil {
+				return err
+			}
+			schema = append(schema, Column{Name: c.Name, Type: ct})
+		}
+		tbl, err := staged.CreateTable(st.Name, schema)
+		if err != nil {
+			return err
+		}
+		for _, sr := range st.Records {
+			attrs := make(map[string]sqlparse.Value, len(sr.Attrs))
+			for k, v := range sr.Attrs {
+				dv, err := decodeValue(v)
+				if err != nil {
+					return fmt.Errorf("engine: table %q entity %q: %w", st.Name, sr.Entity, err)
+				}
+				attrs[k] = dv
+			}
+			if len(sr.Sources) == 0 {
+				return fmt.Errorf("engine: table %q entity %q has no sources", st.Name, sr.Entity)
+			}
+			for _, src := range sr.Sources {
+				if err := tbl.Insert(sr.Entity, src, attrs); err != nil {
+					return fmt.Errorf("engine: restoring table %q: %w", st.Name, err)
+				}
+			}
+		}
+	}
+	if db.tables == nil {
+		db.tables = make(map[string]*Table)
+	}
+	for name, t := range staged.tables {
+		db.tables[name] = t
+	}
+	return nil
+}

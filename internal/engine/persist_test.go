@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := toyDB(t, true)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var dst DB
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst.Estimators = src.Estimators
+
+	// The restored database answers queries identically.
+	want, err := src.Query("SELECT SUM(employees) FROM companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Query("SELECT SUM(employees) FROM companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observed != want.Observed {
+		t.Errorf("observed: %g vs %g", got.Observed, want.Observed)
+	}
+	for name, w := range want.Estimates {
+		g, ok := got.Estimates[name]
+		if !ok {
+			t.Errorf("estimator %q missing after restore", name)
+			continue
+		}
+		if g.Estimated != w.Estimated {
+			t.Errorf("%s: %g vs %g", name, g.Estimated, w.Estimated)
+		}
+	}
+
+	// Lineage survived: same observation counts.
+	srcTbl, _ := src.Table("companies")
+	dstTbl, _ := dst.Table("companies")
+	if srcTbl.NumObservations() != dstTbl.NumObservations() {
+		t.Errorf("observations: %d vs %d", srcTbl.NumObservations(), dstTbl.NumObservations())
+	}
+	if len(srcTbl.Sources()) != len(dstTbl.Sources()) {
+		t.Errorf("sources: %v vs %v", srcTbl.Sources(), dstTbl.Sources())
+	}
+}
+
+func TestSaveLoadPreservesValueKinds(t *testing.T) {
+	var db DB
+	tbl, err := db.CreateTable("t", Schema{
+		{Name: "s", Type: TypeString},
+		{Name: "f", Type: TypeFloat},
+		{Name: "b", Type: TypeBool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("e1", "src", map[string]sqlparse.Value{
+		"s": sqlparse.StringValue("hello"),
+		"f": sqlparse.Number(3.14),
+		"b": sqlparse.BoolValue(true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("e2", "src", map[string]sqlparse.Value{
+		"s": sqlparse.Null(),
+		"f": sqlparse.Number(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dst DB
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dt, _ := dst.Table("t")
+	recs := dt.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if v := recs[0].Attrs["s"]; v.Kind != sqlparse.ValueString || v.Str != "hello" {
+		t.Errorf("string attr = %+v", v)
+	}
+	if v := recs[0].Attrs["b"]; v.Kind != sqlparse.ValueBool || !v.Bool {
+		t.Errorf("bool attr = %+v", v)
+	}
+	if v := recs[1].Attrs["s"]; v.Kind != sqlparse.ValueNull {
+		t.Errorf("null attr = %+v", v)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	var db DB
+	if err := db.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage not reported")
+	}
+	if err := db.Load(strings.NewReader(`{"version": 99, "tables": []}`)); err == nil {
+		t.Error("future version not reported")
+	}
+	if err := db.Load(strings.NewReader(`{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"quaternion"}]}]}`)); err == nil {
+		t.Error("unknown column type not reported")
+	}
+	if err := db.Load(strings.NewReader(`{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"float"}],"records":[{"entity":"e","attrs":{},"sources":[]}]}]}`)); err == nil {
+		t.Error("record without sources not reported")
+	}
+}
+
+func TestLoadCollisionLeavesDBUnchanged(t *testing.T) {
+	db := toyDB(t, false)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into the same DB collides on "companies".
+	if err := db.Load(&buf); err == nil {
+		t.Fatal("collision not reported")
+	}
+	// The original table still answers.
+	res, err := db.Query("SELECT SUM(employees) FROM companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed != 13000 {
+		t.Errorf("observed after failed load = %g", res.Observed)
+	}
+}
+
+func TestMedianThroughSQL(t *testing.T) {
+	db := toyDB(t, true)
+	res, err := db.Query("SELECT MEDIAN(employees) FROM companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed median over {300, 1000, 2000, 10000} = 1500.
+	if res.Observed != 1500 {
+		t.Errorf("observed median = %g, want 1500", res.Observed)
+	}
+	med, ok := res.Estimates["median"]
+	if !ok || !med.Valid {
+		t.Fatalf("median estimate missing: %+v", res.Estimates)
+	}
+	if med.Estimated <= 0 {
+		t.Errorf("estimated median = %g", med.Estimated)
+	}
+}

@@ -1,0 +1,390 @@
+// Package engine is the lineage-preserving in-memory query engine: the
+// "integrated database" of the paper's Figure 1. Tables store one record
+// per unique entity (the user-visible view K) together with the lineage of
+// which sources reported the entity (the multiset S). Aggregate queries
+// are answered in the open world: alongside the observed value, the
+// executor attaches estimates of the impact of unknown unknowns, the
+// Section 4 upper bound, and coverage warnings.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/freqstats"
+	"repro/internal/sqlparse"
+)
+
+// ColumnType is the type of a table column.
+type ColumnType int
+
+// Column types.
+const (
+	TypeFloat ColumnType = iota
+	TypeString
+	TypeBool
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Column returns the column with the given name.
+func (s Schema) Column(name string) (Column, bool) {
+	for _, c := range s {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// Record is one entity's user-visible row.
+type Record struct {
+	// EntityID is the entity-resolved identity of the record.
+	EntityID string
+	// Attrs holds the column values.
+	Attrs map[string]sqlparse.Value
+}
+
+// Column implements sqlparse.Row.
+func (r Record) Column(name string) (sqlparse.Value, bool) {
+	v, ok := r.Attrs[name]
+	return v, ok
+}
+
+// Table is an integrated table with lineage. The zero value is not usable;
+// create tables with NewTable. Tables are safe for concurrent use: inserts
+// take a write lock, reads and query sampling take read locks.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+	// records holds the deduplicated view K.
+	records map[string]*Record
+	// lineage[entity][source] is true when source reported entity. A
+	// source mentions an entity at most once (sampling without
+	// replacement, Section 2.2); re-insertions from the same source are
+	// idempotent.
+	lineage map[string]map[string]bool
+	order   []string // entity IDs in first-insertion order
+	nObs    int      // total (entity, source) observations |S|
+}
+
+// NewTable creates an empty table with the given schema. The schema must
+// be non-empty with unique column names.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: table needs a name")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema {
+		if c.Name == "" {
+			return nil, fmt.Errorf("engine: table %q has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("engine: table %q has duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Table{
+		name:    name,
+		schema:  schema,
+		records: make(map[string]*Record),
+		lineage: make(map[string]map[string]bool),
+	}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRecords returns the number of unique entities (|K|).
+func (t *Table) NumRecords() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}
+
+// NumObservations returns the multiset size |S|.
+func (t *Table) NumObservations() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nObs
+}
+
+// Insert records that source reported the entity with the given attribute
+// values. The first insertion of an entity fixes its attribute values
+// (the model assumes cleaned, fused input); later insertions from new
+// sources only extend the lineage, and a value mismatch is reported as an
+// error while still counting the observation. Attribute values are
+// validated against the schema.
+func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if entityID == "" {
+		return fmt.Errorf("engine: %s: empty entity ID", t.name)
+	}
+	if source == "" {
+		return fmt.Errorf("engine: %s: empty source", t.name)
+	}
+	rec, exists := t.records[entityID]
+	if !exists {
+		if err := t.validate(attrs); err != nil {
+			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
+		}
+		copied := make(map[string]sqlparse.Value, len(attrs))
+		for k, v := range attrs {
+			copied[k] = v
+		}
+		rec = &Record{EntityID: entityID, Attrs: copied}
+		t.records[entityID] = rec
+		t.lineage[entityID] = make(map[string]bool)
+		t.order = append(t.order, entityID)
+	}
+	if t.lineage[entityID][source] {
+		// Idempotent: one source mentions an entity once.
+		return nil
+	}
+	t.lineage[entityID][source] = true
+	t.nObs++
+	if exists {
+		if err := t.checkConsistent(rec, attrs); err != nil {
+			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
+		}
+	}
+	return nil
+}
+
+func (t *Table) validate(attrs map[string]sqlparse.Value) error {
+	for name, v := range attrs {
+		col, ok := t.schema.Column(name)
+		if !ok {
+			return fmt.Errorf("unknown column %q", name)
+		}
+		if v.Kind == sqlparse.ValueNull {
+			continue
+		}
+		ok = false
+		switch col.Type {
+		case TypeFloat:
+			ok = v.Kind == sqlparse.ValueNumber
+		case TypeString:
+			ok = v.Kind == sqlparse.ValueString
+		case TypeBool:
+			ok = v.Kind == sqlparse.ValueBool
+		}
+		if !ok {
+			return fmt.Errorf("column %q expects %s, got %s", name, col.Type, v)
+		}
+	}
+	return nil
+}
+
+func (t *Table) checkConsistent(rec *Record, attrs map[string]sqlparse.Value) error {
+	for name, v := range attrs {
+		prev, ok := rec.Attrs[name]
+		if !ok {
+			continue
+		}
+		if prev != v {
+			return fmt.Errorf("conflicting values for column %q: %s vs %s (input not cleaned)", name, prev, v)
+		}
+	}
+	return nil
+}
+
+// Records returns the user-visible records in insertion order.
+func (t *Table) Records() []Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Record, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, *t.records[id])
+	}
+	return out
+}
+
+// Sources returns the distinct source names, sorted.
+func (t *Table) Sources() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	set := map[string]bool{}
+	for _, srcs := range t.lineage {
+		for s := range srcs {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObservationCount returns how many sources reported the entity.
+func (t *Table) ObservationCount(entityID string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.lineage[entityID])
+}
+
+// GroupSample is one group of a GROUP BY partition.
+type GroupSample struct {
+	// Key is the grouping column's value for this group.
+	Key sqlparse.Value
+	// Sample is the observation multiset restricted to the group.
+	Sample *freqstats.Sample
+}
+
+// GroupedSamples partitions the table by the groupBy column and builds the
+// per-group observation sample over attr (as Sample does), restricted to
+// records satisfying the predicate. Groups are ordered by key (numbers
+// before strings before booleans before NULL, each ascending) for
+// deterministic output. Records whose groupBy value is NULL form their own
+// group, mirroring SQL.
+func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]GroupSample, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if _, ok := t.schema.Column(groupBy); !ok {
+		return nil, fmt.Errorf("engine: %s: unknown GROUP BY column %q", t.name, groupBy)
+	}
+	if attr != "" {
+		col, ok := t.schema.Column(attr)
+		if !ok {
+			return nil, fmt.Errorf("engine: %s: unknown column %q", t.name, attr)
+		}
+		if col.Type != TypeFloat {
+			return nil, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s)", t.name, attr, col.Type)
+		}
+	}
+	groups := map[string]*GroupSample{}
+	var order []string
+	for _, id := range t.order {
+		rec := t.records[id]
+		if where != nil {
+			keep, err := sqlparse.Evaluate(where, rec)
+			if err != nil {
+				return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+			}
+			if !keep {
+				continue
+			}
+		}
+		key, ok := rec.Attrs[groupBy]
+		if !ok {
+			key = sqlparse.Null()
+		}
+		var value float64
+		if attr != "" {
+			v, ok := rec.Attrs[attr]
+			if !ok || v.Kind == sqlparse.ValueNull {
+				continue
+			}
+			value = v.Num
+		}
+		keyStr := groupKeyString(key)
+		g, exists := groups[keyStr]
+		if !exists {
+			g = &GroupSample{Key: key, Sample: freqstats.NewSample()}
+			groups[keyStr] = g
+			order = append(order, keyStr)
+		}
+		for src := range t.lineage[id] {
+			if err := g.Sample.Add(freqstats.Observation{EntityID: id, Value: value, Source: src}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]GroupSample, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out, nil
+}
+
+// groupKeyString renders a group key with a kind prefix so sorted output
+// is deterministic and kinds never interleave.
+func groupKeyString(v sqlparse.Value) string {
+	switch v.Kind {
+	case sqlparse.ValueNumber:
+		return fmt.Sprintf("0:%032.6f", v.Num)
+	case sqlparse.ValueString:
+		return "1:" + v.Str
+	case sqlparse.ValueBool:
+		return fmt.Sprintf("2:%v", v.Bool)
+	default:
+		return "3:null"
+	}
+}
+
+// Sample builds the freqstats sample over the numeric attribute attr,
+// restricted to records satisfying the predicate (nil means all). Records
+// whose attr is NULL are skipped, mirroring SQL aggregate semantics. For
+// COUNT(*), pass attr == "" to aggregate with value 0 per entity.
+func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if attr != "" {
+		col, ok := t.schema.Column(attr)
+		if !ok {
+			return nil, fmt.Errorf("engine: %s: unknown column %q", t.name, attr)
+		}
+		if col.Type != TypeFloat {
+			return nil, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s)", t.name, attr, col.Type)
+		}
+	}
+	s := freqstats.NewSample()
+	for _, id := range t.order {
+		rec := t.records[id]
+		if where != nil {
+			keep, err := sqlparse.Evaluate(where, rec)
+			if err != nil {
+				return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+			}
+			if !keep {
+				continue
+			}
+		}
+		var value float64
+		if attr != "" {
+			v, ok := rec.Attrs[attr]
+			if !ok || v.Kind == sqlparse.ValueNull {
+				continue
+			}
+			value = v.Num
+		}
+		for src := range t.lineage[id] {
+			if err := s.Add(freqstats.Observation{EntityID: id, Value: value, Source: src}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func companySchema() Schema {
+	return Schema{
+		{Name: "name", Type: TypeString},
+		{Name: "employees", Type: TypeFloat},
+		{Name: "public", Type: TypeBool},
+	}
+}
+
+func newCompanyTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("companies", companySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func insert(t *testing.T, tbl *Table, id, src string, employees float64) {
+	t.Helper()
+	err := tbl.Insert(id, src, map[string]sqlparse.Value{
+		"name":      sqlparse.StringValue(id),
+		"employees": sqlparse.Number(employees),
+		"public":    sqlparse.BoolValue(true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", companySchema()); err == nil {
+		t.Error("empty name not reported")
+	}
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("empty schema not reported")
+	}
+	if _, err := NewTable("t", Schema{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate column not reported")
+	}
+	if _, err := NewTable("t", Schema{{Name: ""}}); err == nil {
+		t.Error("unnamed column not reported")
+	}
+}
+
+func TestInsertLineage(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "acme", "w1", 100)
+	insert(t, tbl, "acme", "w2", 100)
+	insert(t, tbl, "acme", "w2", 100) // same source again: idempotent
+	insert(t, tbl, "globex", "w1", 2000)
+
+	if tbl.NumRecords() != 2 {
+		t.Errorf("records = %d, want 2", tbl.NumRecords())
+	}
+	if tbl.NumObservations() != 3 {
+		t.Errorf("observations = %d, want 3", tbl.NumObservations())
+	}
+	if got := tbl.ObservationCount("acme"); got != 2 {
+		t.Errorf("acme observed by %d sources, want 2", got)
+	}
+	srcs := tbl.Sources()
+	if len(srcs) != 2 || srcs[0] != "w1" || srcs[1] != "w2" {
+		t.Errorf("sources = %v", srcs)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := newCompanyTable(t)
+	if err := tbl.Insert("", "w1", nil); err == nil {
+		t.Error("empty entity not reported")
+	}
+	if err := tbl.Insert("x", "", nil); err == nil {
+		t.Error("empty source not reported")
+	}
+	err := tbl.Insert("x", "w1", map[string]sqlparse.Value{"nope": sqlparse.Number(1)})
+	if err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Errorf("unknown column: %v", err)
+	}
+	err = tbl.Insert("x", "w1", map[string]sqlparse.Value{"employees": sqlparse.StringValue("many")})
+	if err == nil || !strings.Contains(err.Error(), "expects FLOAT") {
+		t.Errorf("type mismatch: %v", err)
+	}
+	// NULLs are allowed in any column.
+	if err := tbl.Insert("y", "w1", map[string]sqlparse.Value{"employees": sqlparse.Null()}); err != nil {
+		t.Errorf("NULL rejected: %v", err)
+	}
+}
+
+func TestInsertConflictingValues(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "acme", "w1", 100)
+	err := tbl.Insert("acme", "w2", map[string]sqlparse.Value{"employees": sqlparse.Number(999)})
+	if err == nil || !strings.Contains(err.Error(), "conflicting values") {
+		t.Fatalf("conflict not reported: %v", err)
+	}
+	// The observation still counted (lineage grew).
+	if tbl.ObservationCount("acme") != 2 {
+		t.Errorf("lineage = %d, want 2", tbl.ObservationCount("acme"))
+	}
+	// First value kept.
+	recs := tbl.Records()
+	if v := recs[0].Attrs["employees"]; v.Num != 100 {
+		t.Errorf("value = %g, want first value 100", v.Num)
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "a", "w1", 10)
+	insert(t, tbl, "a", "w2", 10)
+	insert(t, tbl, "b", "w1", 20)
+	s, err := tbl.Sample("employees", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 3 || s.C() != 2 || s.F1() != 1 {
+		t.Errorf("n=%d c=%d f1=%d", s.N(), s.C(), s.F1())
+	}
+	if s.SumValues() != 30 {
+		t.Errorf("sum = %g", s.SumValues())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleWithPredicate(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "small1", "w1", 10)
+	insert(t, tbl, "small2", "w1", 20)
+	insert(t, tbl, "big", "w1", 5000)
+	insert(t, tbl, "big", "w2", 5000)
+	pred, err := sqlparse.ParsePredicate("employees < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tbl.Sample("employees", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 2 || s.SumValues() != 30 {
+		t.Errorf("c=%d sum=%g", s.C(), s.SumValues())
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "a", "w1", 10)
+	if _, err := tbl.Sample("nope", nil); err == nil {
+		t.Error("unknown column not reported")
+	}
+	if _, err := tbl.Sample("name", nil); err == nil {
+		t.Error("non-numeric aggregate not reported")
+	}
+	pred, _ := sqlparse.ParsePredicate("ghost = 1")
+	if _, err := tbl.Sample("employees", pred); err == nil {
+		t.Error("unknown predicate column not reported")
+	}
+}
+
+func TestSampleSkipsNulls(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "a", "w1", 10)
+	if err := tbl.Insert("unknown-size", "w1", map[string]sqlparse.Value{
+		"name":      sqlparse.StringValue("unknown-size"),
+		"employees": sqlparse.Null(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tbl.Sample("employees", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 1 {
+		t.Errorf("c = %d, want 1 (NULL employees skipped)", s.C())
+	}
+	// COUNT(*) form includes it.
+	s, err = tbl.Sample("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 2 {
+		t.Errorf("count-star c = %d, want 2", s.C())
+	}
+}
+
+func TestRecordsOrderAndCopy(t *testing.T) {
+	tbl := newCompanyTable(t)
+	insert(t, tbl, "b", "w1", 2)
+	insert(t, tbl, "a", "w1", 1)
+	recs := tbl.Records()
+	if recs[0].EntityID != "b" || recs[1].EntityID != "a" {
+		t.Errorf("order: %v, %v", recs[0].EntityID, recs[1].EntityID)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/plot"
+)
+
+// maxChartSeries bounds how many lines one chart can carry before it stops
+// being readable; grid experiments (fig6, fig11) are split into one chart
+// per panel using the "panel/series" naming convention.
+const maxChartSeries = 8
+
+// RenderChart draws the result's series as ASCII line charts (tables stay
+// the precise record; Render emits those). Table-only results are a no-op.
+func RenderChart(w io.Writer, res *Result) error {
+	if len(res.Series) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title); err != nil {
+		return err
+	}
+	for _, panel := range splitPanels(res.Series) {
+		if panel.name != "" {
+			if _, err := fmt.Fprintf(w, "-- %s --\n", panel.name); err != nil {
+				return err
+			}
+		}
+		ps := make([]plot.Series, len(panel.series))
+		for i, s := range panel.series {
+			ps[i] = plot.Series{Name: s.Name, X: s.X, Y: s.Y}
+		}
+		if err := plot.Render(w, ps, plot.Config{Width: 64, Height: 16}); err != nil {
+			// An undrawable panel (all gaps) is reported inline, not fatal.
+			if _, werr := fmt.Fprintf(w, "(panel not drawable: %v)\n", err); werr != nil {
+				return werr
+			}
+		}
+	}
+	return nil
+}
+
+type panel struct {
+	name   string
+	series []Series
+}
+
+// splitPanels groups series by the "panel/" prefix used by the grid
+// experiments; unprefixed series form a single panel. Oversized panels are
+// truncated to maxChartSeries with a sentinel entry in the name.
+func splitPanels(series []Series) []panel {
+	var order []string
+	byName := map[string]*panel{}
+	for _, s := range series {
+		name := ""
+		short := s.Name
+		if i := strings.IndexByte(s.Name, '/'); i >= 0 {
+			name = s.Name[:i]
+			short = s.Name[i+1:]
+		}
+		p, ok := byName[name]
+		if !ok {
+			p = &panel{name: name}
+			byName[name] = p
+			order = append(order, name)
+		}
+		s.Name = short
+		p.series = append(p.series, s)
+	}
+	out := make([]panel, 0, len(order))
+	for _, name := range order {
+		p := byName[name]
+		if len(p.series) > maxChartSeries {
+			p.name = fmt.Sprintf("%s (first %d of %d series)", p.name, maxChartSeries, len(p.series))
+			p.series = p.series[:maxChartSeries]
+		}
+		out = append(out, *p)
+	}
+	return out
+}

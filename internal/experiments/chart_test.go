@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderChartBasic(t *testing.T) {
+	res := &Result{
+		ID:    "x",
+		Title: "chart test",
+		Series: []Series{
+			{Name: "observed", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+			{Name: "truth", X: []float64{1, 2, 3}, Y: []float64{3, 3, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "legend: * observed   + truth") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderChartTableOnlyNoop(t *testing.T) {
+	res := &Result{ID: "t", Title: "table", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("table-only result drew something:\n%s", buf.String())
+	}
+}
+
+func TestRenderChartPanels(t *testing.T) {
+	res := &Result{
+		ID:    "grid",
+		Title: "panels",
+		Series: []Series{
+			{Name: "w=2/observed", X: []float64{1, 2}, Y: []float64{1, 2}},
+			{Name: "w=2/truth", X: []float64{1, 2}, Y: []float64{2, 2}},
+			{Name: "w=5/observed", X: []float64{1, 2}, Y: []float64{1, 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-- w=2 --") || !strings.Contains(out, "-- w=5 --") {
+		t.Errorf("panel headers missing:\n%s", out)
+	}
+	// Short names in legends, not the full prefixed names.
+	if !strings.Contains(out, "* observed") || strings.Contains(out, "w=2/observed") {
+		t.Errorf("panel legend wrong:\n%s", out)
+	}
+}
+
+func TestRenderChartTruncatesWidePanels(t *testing.T) {
+	var series []Series
+	for i := 0; i < maxChartSeries+4; i++ {
+		series = append(series, Series{
+			Name: strings.Repeat("s", i+1),
+			X:    []float64{1, 2},
+			Y:    []float64{float64(i), float64(i + 1)},
+		})
+	}
+	res := &Result{ID: "wide", Title: "wide", Series: series}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "first 8 of 12 series") {
+		t.Errorf("truncation note missing:\n%s", buf.String())
+	}
+}
+
+func TestRenderChartUndrawablePanel(t *testing.T) {
+	res := &Result{
+		ID:    "gaps",
+		Title: "gaps",
+		Series: []Series{
+			{Name: "empty", X: []float64{1, 2}, Y: []float64{math.NaN(), math.NaN()}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not drawable") {
+		t.Errorf("undrawable panel not reported inline:\n%s", buf.String())
+	}
+}

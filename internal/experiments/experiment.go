@@ -1,0 +1,137 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section 6 and Appendices B-F). Each experiment is a named
+// runner producing numeric series (the lines of the paper's plots) or rows
+// (for tables), plus notes recording the expected qualitative shape from
+// the paper for comparison in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Seed makes runs reproducible; experiments derive all their RNGs
+	// from it.
+	Seed int64
+	// Reps overrides the experiment's default repetition count (for
+	// averaging); 0 keeps the default.
+	Reps int
+	// Points is the number of replay checkpoints along the stream; 0
+	// means 20.
+	Points int
+	// Quick reduces repetitions and Monte-Carlo effort so the whole suite
+	// runs in seconds (used by tests and benchmarks).
+	Quick bool
+}
+
+func (c Config) points() int {
+	if c.Points > 0 {
+		return c.Points
+	}
+	if c.Quick {
+		return 6
+	}
+	return 20
+}
+
+func (c Config) reps(def int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	if c.Quick {
+		return 2
+	}
+	return def
+}
+
+// Series is one line of a figure: Y(X), with NaN marking missing points
+// (e.g. diverged static-bucket estimates, matching the gaps in the paper's
+// Figures 8 and 9).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	// ID is the experiment identifier ("fig2", "table2", ...).
+	ID string
+	// Title describes the regenerated artifact.
+	Title string
+	// Series holds figure lines (empty for table experiments).
+	Series []Series
+	// Header and Rows hold tabular output (empty for figure experiments).
+	Header []string
+	Rows   [][]string
+	// Notes records the paper's expected shape and any observations.
+	Notes []string
+}
+
+// Experiment is a registered figure/table runner.
+type Experiment struct {
+	// ID is the registry key ("fig2", ..., "table2").
+	ID string
+	// Title is the paper artifact it regenerates.
+	Title string
+	// Paper describes the expected qualitative outcome per the paper.
+	Paper string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by ID (figures first,
+// then tables, in numeric order).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders experiment IDs naturally: fig2 < fig4 < fig5a < ... <
+// fig11 < table2.
+func idLess(a, b string) bool {
+	pa, na, sa := splitID(a)
+	pb, nb, sb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return sa < sb
+}
+
+func splitID(id string) (prefix string, num int, suffix string) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	prefix = id[:i]
+	j := i
+	for j < len(id) && id[j] >= '0' && id[j] <= '9' {
+		j++
+	}
+	fmt.Sscanf(id[i:j], "%d", &num)
+	return prefix, num, id[j:]
+}

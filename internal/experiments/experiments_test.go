@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure and table from DESIGN.md's per-experiment index, plus
+	// the ablations.
+	want := []string{
+		"fig2", "fig4", "fig5a", "fig5b", "fig5c", "fig6",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f",
+		"fig8", "fig9", "fig10", "fig11", "table2",
+		"abl-count", "abl-mc", "abl-bucket", "abl-dependence",
+		"ext-median", "ext-tracker", "ext-ci",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if got := len(All()); got != len(want) {
+		t.Errorf("registry has %d experiments, want %d", got, len(want))
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	// Natural numeric ordering: fig2 before fig4 before fig10/fig11,
+	// tables after figures.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if !(pos["fig2"] < pos["fig4"] && pos["fig4"] < pos["fig10"] && pos["fig10"] < pos["fig11"]) {
+		t.Errorf("figure ordering wrong: %v", ids)
+	}
+	if pos["table2"] < pos["fig11"] {
+		t.Errorf("table2 should sort after figures: %v", ids)
+	}
+	if !(pos["fig5a"] < pos["fig5b"] && pos["fig5b"] < pos["fig5c"]) {
+		t.Errorf("suffix ordering wrong: %v", ids)
+	}
+}
+
+// Every experiment must run in quick mode and produce well-formed output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Config{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != experiment ID %q", res.ID, e.ID)
+			}
+			if len(res.Series) == 0 && len(res.Rows) == 0 {
+				t.Error("experiment produced no series and no rows")
+			}
+			for _, s := range res.Series {
+				if len(s.X) != len(s.Y) {
+					t.Errorf("series %q: len(X)=%d len(Y)=%d", s.Name, len(s.X), len(s.Y))
+				}
+				for i, y := range s.Y {
+					if math.IsInf(y, 0) {
+						t.Errorf("series %q has Inf at %d", s.Name, i)
+					}
+				}
+			}
+			// Render must not fail.
+			var sb strings.Builder
+			if err := Render(&sb, res); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), res.ID) {
+				t.Error("render output missing experiment ID")
+			}
+		})
+	}
+}
+
+func TestFig2GapShrinks(t *testing.T) {
+	res, err := registry["fig2"].Run(Config{Seed: 3, Points: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed, truth *Series
+	for i := range res.Series {
+		switch res.Series[i].Name {
+		case "observed":
+			observed = &res.Series[i]
+		case "truth":
+			truth = &res.Series[i]
+		}
+	}
+	if observed == nil || truth == nil {
+		t.Fatal("missing series")
+	}
+	firstGap := truth.Y[0] - observed.Y[0]
+	lastGap := truth.Y[len(truth.Y)-1] - observed.Y[len(observed.Y)-1]
+	if firstGap <= 0 {
+		t.Errorf("observed starts above truth: gap %g", firstGap)
+	}
+	if lastGap >= firstGap {
+		t.Errorf("gap did not shrink: first %g, last %g", firstGap, lastGap)
+	}
+}
+
+func TestTable2GoldenNumbers(t *testing.T) {
+	res, err := registry["table2"].Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{
+		"observed": {"13000", "13300"},
+		"naive":    {"16009.26", "14777.78"},
+		"freq":     {"13694.44", "13433.33"},
+		"bucket":   {"14500.00", "13950.00"},
+	}
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		exp, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected row %v", row)
+			continue
+		}
+		seen[row[0]] = true
+		if row[1] != exp[0] || row[2] != exp[1] {
+			t.Errorf("%s = %s / %s, want %s / %s", row[0], row[1], row[2], exp[0], exp[1])
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("missing row %q", name)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).points() != 20 {
+		t.Error("default points != 20")
+	}
+	if (Config{Quick: true}).points() != 6 {
+		t.Error("quick points != 6")
+	}
+	if (Config{Points: 3}).points() != 3 {
+		t.Error("explicit points ignored")
+	}
+	if (Config{}).reps(7) != 7 {
+		t.Error("default reps ignored")
+	}
+	if (Config{Quick: true}).reps(7) != 2 {
+		t.Error("quick reps != 2")
+	}
+	if (Config{Reps: 4}).reps(7) != 4 {
+		t.Error("explicit reps ignored")
+	}
+}
+
+func TestRenderFormatsGapsAndNumbers(t *testing.T) {
+	res := &Result{
+		ID:    "x",
+		Title: "t",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{1234567, math.NaN()}},
+		},
+		Notes: []string{"hello"},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1.235e+06") {
+		t.Errorf("large number not formatted: %s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN gap not rendered: %s", out)
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Errorf("note missing: %s", out)
+	}
+}
+
+func TestIDOrderingHelpers(t *testing.T) {
+	tests := []struct {
+		a, b string
+		less bool
+	}{
+		{"fig2", "fig4", true},
+		{"fig4", "fig2", false},
+		{"fig5a", "fig5b", true},
+		{"fig9", "fig10", true},
+		{"fig11", "table2", true},
+		{"fig2", "fig2", false},
+	}
+	for _, tt := range tests {
+		if got := idLess(tt.a, tt.b); got != tt.less {
+			t.Errorf("idLess(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.less)
+		}
+	}
+}

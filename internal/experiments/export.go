@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExportCSV writes the result's data as CSV: series results produce one
+// row per checkpoint with one column per series; table results reproduce
+// their rows. NaN cells (gaps) are written empty.
+func ExportCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if len(res.Series) > 0 {
+		header := make([]string, 0, len(res.Series)+1)
+		header = append(header, "x")
+		for _, s := range res.Series {
+			header = append(header, s.Name)
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for i := range res.Series[0].X {
+			row := make([]string, 0, len(res.Series)+1)
+			row = append(row, formatCSVNum(res.Series[0].X[i]))
+			for _, s := range res.Series {
+				if i < len(s.Y) && !math.IsNaN(s.Y[i]) {
+					row = append(row, formatCSVNum(s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	if len(res.Rows) > 0 {
+		if err := cw.Write(res.Header); err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCSVNum(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// ExportMarkdown writes the result as a Markdown section with a table and
+// the notes as a list — ready to paste into EXPERIMENTS.md-style reports.
+func ExportMarkdown(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "## %s: %s\n\n", res.ID, res.Title); err != nil {
+		return err
+	}
+	var header []string
+	var rows [][]string
+	switch {
+	case len(res.Series) > 0:
+		header = append(header, "x")
+		for _, s := range res.Series {
+			header = append(header, s.Name)
+		}
+		for i := range res.Series[0].X {
+			row := []string{formatNum(res.Series[0].X[i])}
+			for _, s := range res.Series {
+				if i < len(s.Y) {
+					row = append(row, formatNum(s.Y[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+	case len(res.Rows) > 0:
+		header = res.Header
+		rows = res.Rows
+	}
+	if len(header) > 0 {
+		if err := writeMarkdownTable(w, header, rows); err != nil {
+			return err
+		}
+	}
+	for _, note := range res.Notes {
+		if _, err := fmt.Fprintf(w, "- %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeMarkdownTable(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(header), " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(row), " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}

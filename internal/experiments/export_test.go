@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleSeriesResult() *Result {
+	return &Result{
+		ID:    "x",
+		Title: "export test",
+		Series: []Series{
+			{Name: "observed", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "est", X: []float64{1, 2}, Y: []float64{11, math.NaN()}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func sampleTableResult() *Result {
+	return &Result{
+		ID:     "t",
+		Title:  "table export",
+		Header: []string{"estimator", "value"},
+		Rows:   [][]string{{"naive", "123"}, {"with|pipe", "4"}},
+		Notes:  []string{"table note"},
+	}
+}
+
+func TestExportCSVSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, sampleSeriesResult()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d, want 3", len(records))
+	}
+	if records[0][0] != "x" || records[0][1] != "observed" || records[0][2] != "est" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "10" || records[1][2] != "11" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+	// NaN exported as empty cell.
+	if records[2][2] != "" {
+		t.Errorf("NaN cell = %q", records[2][2])
+	}
+}
+
+func TestExportCSVTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, sampleTableResult()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[1][0] != "naive" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestExportMarkdownSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportMarkdown(&buf, sampleSeriesResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "## x: export test") {
+		t.Errorf("heading missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| x | observed | est |") {
+		t.Errorf("table header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "- a note") {
+		t.Errorf("note missing:\n%s", out)
+	}
+}
+
+func TestExportMarkdownEscapesPipes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportMarkdown(&buf, sampleTableResult()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `with\|pipe`) {
+		t.Errorf("pipe not escaped:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/freqstats"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-median",
+		Title: "Extension: open-world MEDIAN via the bucket machinery",
+		Paper: "beyond the paper (Section 8 lists richer aggregates as future work): under publicity-value correlation the observed median is biased up; the bucket correction should close most of the gap, mirroring the AVG result",
+		Run:   runExtMedian,
+	})
+}
+
+func runExtMedian(cfg Config) (*Result, error) {
+	reps := cfg.reps(20)
+	series, err := averageSeries(reps, func(rep int) ([]Series, error) {
+		d, err := dataset.Synthetic(cfg.Seed+int64(rep)*613+53, 100, 4, 1, 20, 20)
+		if err != nil {
+			return nil, err
+		}
+		checkpoints := sim.Checkpoints(d.Stream.Len(), cfg.points())
+		xs := make([]float64, len(checkpoints))
+		for i, k := range checkpoints {
+			xs[i] = float64(k)
+		}
+		observed := Series{Name: "observed-median", X: xs, Y: make([]float64, len(checkpoints))}
+		corrected := Series{Name: "bucket-median", X: xs, Y: make([]float64, len(checkpoints))}
+		truthLine := Series{Name: "truth", X: xs, Y: make([]float64, len(checkpoints))}
+		for i := range truthLine.Y {
+			truthLine.Y[i] = 505 // median of 10, 20, ..., 1000
+		}
+		idx := 0
+		err = d.Stream.Replay(checkpoints, func(k int, s *freqstats.Sample) error {
+			qr, err := core.MedianEstimate(core.Bucket{}, s)
+			if err != nil {
+				return err
+			}
+			if qr.Valid {
+				observed.Y[idx] = qr.Observed
+				corrected.Y[idx] = qr.Estimated
+			} else {
+				observed.Y[idx] = math.NaN()
+				corrected.Y[idx] = math.NaN()
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []Series{observed, corrected, truthLine}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "ext-median",
+		Title:  "MEDIAN query: observed vs bucket-corrected (truth 505)",
+		Series: series,
+		Notes: []string{
+			fmt.Sprintf("averaged over %d repetitions", reps),
+			"expected: observed median biased above the truth under rho=1; the corrected line sits closer",
+		},
+	}, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7a",
+		Title: "Figure 7(a): successive exhaustive sources (streakers only)",
+		Paper: "all Chao92-based estimators fail (sampling-with-replacement assumption violated); MC defaults to the observed sum, which is already complete",
+		Run:   runFig7a,
+	})
+	register(Experiment{
+		ID:    "fig7b",
+		Title: "Figure 7(b): a streaker injected at n=160",
+		Paper: "all estimators except MC heavily overestimate once the streaker floods the sample; MC explains the observed S by simulation and stays close",
+		Run:   runFig7b,
+	})
+}
+
+func runFig7a(cfg Config) (*Result, error) {
+	truth, err := sim.NewGroundTruth(randx.New(cfg.Seed+21), sim.Config{N: 100, Lambda: 1, Rho: 1})
+	if err != nil {
+		return nil, err
+	}
+	stream := sim.SuccessiveExhaustive(truth, 5)
+	series, err := estimatorsForStream(cfg, stream, truth.Sum(), defaultEstimators(cfg, cfg.Seed+22))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "fig7a",
+		Title:  "streakers only: each source contributes all N=100 items in turn",
+		Series: series,
+		Notes: []string{
+			"expected: after n=100 the observed sum equals the truth; Chao92-based estimators overshoot wildly; MC stays at the observed line",
+		},
+	}, nil
+}
+
+func runFig7b(cfg Config) (*Result, error) {
+	truth, err := sim.NewGroundTruth(randx.New(cfg.Seed+31), sim.Config{N: 100, Lambda: 1, Rho: 1})
+	if err != nil {
+		return nil, err
+	}
+	base, err := sim.Integrate(randx.New(cfg.Seed+32), truth, sim.IntegrationConfig{
+		NumSources: 20, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream := sim.InjectStreaker(base, truth, 160, "streaker")
+	series, err := estimatorsForStream(cfg, stream, truth.Sum(), defaultEstimators(cfg, cfg.Seed+33))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "fig7b",
+		Title:  "a streaker contributes all 100 items starting at n=160",
+		Series: series,
+		Notes: []string{
+			"expected: estimators spike after n=160; MC remains closest to the truth",
+		},
+	}, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Render writes a human-readable report of an experiment result: the
+// series as an aligned table (one row per checkpoint) or the tabular rows,
+// followed by the notes.
+func Render(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title); err != nil {
+		return err
+	}
+	if len(res.Series) > 0 {
+		if err := renderSeries(w, res.Series); err != nil {
+			return err
+		}
+	}
+	if len(res.Rows) > 0 {
+		if err := renderTable(w, res.Header, res.Rows); err != nil {
+			return err
+		}
+	}
+	for _, note := range res.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderSeries(w io.Writer, series []Series) error {
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "x")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	var rows [][]string
+	if len(series) > 0 {
+		for i := range series[0].X {
+			row := make([]string, 0, len(series)+1)
+			row = append(row, formatNum(series[0].X[i]))
+			for _, s := range series {
+				if i < len(s.Y) {
+					row = append(row, formatNum(s.Y[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return renderTable(w, header, rows)
+}
+
+func renderTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", width, cell)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	if math.IsInf(x, 1) {
+		return "inf"
+	}
+	if math.IsInf(x, -1) {
+		return "-inf"
+	}
+	abs := math.Abs(x)
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.4g", x)
+	case abs >= 100 || x == math.Trunc(x):
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}

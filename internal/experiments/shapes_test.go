@@ -1,0 +1,178 @@
+package experiments
+
+// Shape tests: beyond "it runs", these verify the qualitative claims each
+// experiment exists to demonstrate, at reduced repetition counts so the
+// suite stays fast. EXPERIMENTS.md records the full-effort versions.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func series(t *testing.T, res *Result, name string) Series {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found in %s (have %v)", name, res.ID, seriesNames(res))
+	return Series{}
+}
+
+func seriesNames(res *Result) []string {
+	out := make([]string, len(res.Series))
+	for i, s := range res.Series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func lastFinite(s Series) float64 {
+	for i := len(s.Y) - 1; i >= 0; i-- {
+		if !math.IsNaN(s.Y[i]) {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Figure 4's ranking claim: at the end of the employment stream, the
+// bucket estimate is closer to the truth than the naive estimate.
+func TestFig4ShapeBucketBeatsNaive(t *testing.T) {
+	res, err := registry["fig4"].Run(Config{Seed: 7, Points: 8, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lastFinite(series(t, res, "truth"))
+	naiveErr := math.Abs(lastFinite(series(t, res, "naive")) - truth)
+	bucketErr := math.Abs(lastFinite(series(t, res, "bucket")) - truth)
+	if bucketErr >= naiveErr {
+		t.Errorf("bucket error %.0f not below naive %.0f", bucketErr, naiveErr)
+	}
+}
+
+// Figure 7a's claim: the Monte-Carlo line sits at the observed sum while
+// the naive line overshoots right after a fresh exhaustive source starts.
+func TestFig7aShapeMCPinned(t *testing.T) {
+	res, err := registry["fig7a"].Run(Config{Seed: 3, Points: 10, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := series(t, res, "observed")
+	mc := series(t, res, "mc")
+	for i := range mc.Y {
+		if math.IsNaN(mc.Y[i]) {
+			continue
+		}
+		if math.Abs(mc.Y[i]-observed.Y[i]) > 0.02*observed.Y[i] {
+			t.Errorf("checkpoint %d: MC %.0f far from observed %.0f", i, mc.Y[i], observed.Y[i])
+		}
+	}
+}
+
+// Figure 7d's claim: the corrected AVG is closer to the truth than the
+// observed AVG through most of the stream.
+func TestFig7dShapeAvgCorrected(t *testing.T) {
+	res, err := registry["fig7d"].Run(Config{Seed: 5, Points: 8, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lastFinite(series(t, res, "truth"))
+	obs := series(t, res, "observed-avg")
+	corr := series(t, res, "bucket-avg")
+	better := 0
+	total := 0
+	for i := range obs.Y {
+		if math.IsNaN(obs.Y[i]) || math.IsNaN(corr.Y[i]) {
+			continue
+		}
+		total++
+		if math.Abs(corr.Y[i]-truth) <= math.Abs(obs.Y[i]-truth) {
+			better++
+		}
+	}
+	if total == 0 || better*2 < total {
+		t.Errorf("corrected AVG better at only %d/%d checkpoints", better, total)
+	}
+}
+
+// abl-dependence's claim: unique-entity discovery degrades monotonically
+// with copier share.
+func TestAblDependenceShape(t *testing.T) {
+	res, err := registry["abl-dependence"].Run(Config{Seed: 11, Reps: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	uniques := make([]float64, 3)
+	for i, row := range res.Rows {
+		u, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("row %d uniques %q: %v", i, row[len(row)-1], err)
+		}
+		uniques[i] = u
+	}
+	if !(uniques[0] > uniques[1] && uniques[1] > uniques[2]) {
+		t.Errorf("uniques not decreasing with copier share: %v", uniques)
+	}
+}
+
+// ext-median's claim: the corrected median is closer to the truth than
+// the observed one at the end of the stream.
+func TestExtMedianShape(t *testing.T) {
+	res, err := registry["ext-median"].Run(Config{Seed: 13, Points: 8, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lastFinite(series(t, res, "truth"))
+	obs := series(t, res, "observed-median")
+	corr := series(t, res, "bucket-median")
+	// Single checkpoints are noisy at low reps; compare mean error over
+	// the whole stream.
+	var obsErr, corrErr float64
+	n := 0
+	for i := range obs.Y {
+		if math.IsNaN(obs.Y[i]) || math.IsNaN(corr.Y[i]) {
+			continue
+		}
+		obsErr += math.Abs(obs.Y[i] - truth)
+		corrErr += math.Abs(corr.Y[i] - truth)
+		n++
+	}
+	if n == 0 || corrErr >= obsErr {
+		t.Errorf("corrected median mean error %.1f not below observed %.1f (n=%d)",
+			corrErr/float64(maxi(n, 1)), obsErr/float64(maxi(n, 1)), n)
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// table2's claim is exact: checked in TestTable2GoldenNumbers; here verify
+// the Markdown export of it carries the golden rows (end-to-end through
+// the exporter).
+func TestTable2MarkdownExport(t *testing.T) {
+	res, err := registry["table2"].Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ExportMarkdown(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"| bucket | 14500.00 | 13950.00 |", "| naive | 16009.26 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/freqstats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2 (Appendix F): toy example walkthrough",
+		Paper: "naive worst (16009 -> 14962-region), freq better (13694 -> 13450-region), bucket best (14500 -> 13950) against ground truth 14200",
+		Run:   runTable2,
+	})
+}
+
+// toySample builds the Appendix F toy integrated database. withS5 adds the
+// fifth source {A, B, E}.
+func toySample(withS5 bool) (*freqstats.Sample, error) {
+	s := freqstats.NewSample()
+	obs := []freqstats.Observation{
+		{EntityID: "A", Value: 1000, Source: "s1"},
+		{EntityID: "B", Value: 2000, Source: "s1"},
+		{EntityID: "D", Value: 10000, Source: "s1"},
+		{EntityID: "B", Value: 2000, Source: "s2"},
+		{EntityID: "D", Value: 10000, Source: "s2"},
+		{EntityID: "D", Value: 10000, Source: "s3"},
+		{EntityID: "D", Value: 10000, Source: "s4"},
+	}
+	if withS5 {
+		obs = append(obs,
+			freqstats.Observation{EntityID: "A", Value: 1000, Source: "s5"},
+			freqstats.Observation{EntityID: "B", Value: 2000, Source: "s5"},
+			freqstats.Observation{EntityID: "E", Value: 300, Source: "s5"},
+		)
+	}
+	if err := s.AddAll(obs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func runTable2(cfg Config) (*Result, error) {
+	before, err := toySample(false)
+	if err != nil {
+		return nil, err
+	}
+	after, err := toySample(true)
+	if err != nil {
+		return nil, err
+	}
+	const truth = 14200.0
+
+	ests := []core.SumEstimator{core.Naive{}, core.Frequency{}, core.Bucket{}}
+	res := &Result{
+		ID:     "table2",
+		Title:  "SELECT SUM(employee) estimates before/after adding source s5 (ground truth 14200)",
+		Header: []string{"estimator", "before s5", "after s5"},
+	}
+	res.Rows = append(res.Rows, []string{"observed",
+		fmt.Sprintf("%.0f", before.SumValues()),
+		fmt.Sprintf("%.0f", after.SumValues()),
+	})
+	for _, e := range ests {
+		b := e.EstimateSum(before)
+		a := e.EstimateSum(after)
+		res.Rows = append(res.Rows, []string{e.Name(),
+			fmt.Sprintf("%.2f", b.Estimated),
+			fmt.Sprintf("%.2f", a.Estimated),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper prints: naive 16009 / 14962, freq 13694 / 13450, bucket 14500 / 13950",
+		"the paper's after-s5 naive/freq columns use n=9 in the denominator while stating n=10; our consistent n=10 arithmetic gives 14777.78 / 13433.33 (see EXPERIMENTS.md)",
+		"bucket matches the paper exactly in both columns and is closest to the 14200 truth",
+	)
+	return res, nil
+}

@@ -1,0 +1,355 @@
+// Package freqstats maintains the observation multiset S produced by data
+// integration and the frequency statistics (f-statistics) the paper's
+// estimators are built on.
+//
+// In the paper's model (Section 2), l data sources each sample entities
+// without replacement from an unknown ground truth D. Their union S is a
+// multiset: the same entity can be observed by several sources. The user
+// only sees the deduplicated database K. A Sample tracks, incrementally:
+//
+//   - n: the total number of observations (|S|),
+//   - c: the number of unique entities (|K|),
+//   - per-entity occurrence counts and attribute values,
+//   - the f-statistics f_j = number of entities observed exactly j times
+//     (f_1 are the singletons, f_2 the doubletons, ...),
+//   - per-source contribution sizes n_j (needed by the Monte-Carlo
+//     estimator to replay the sampling scenario).
+package freqstats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Observation is a single data item delivered by a source: an entity
+// identifier (after entity resolution), the entity's attribute value, and
+// the source that reported it.
+type Observation struct {
+	// EntityID identifies the real-world entity. Observations with equal
+	// EntityID are duplicates of the same entity.
+	EntityID string
+	// Value is the aggregated attribute value of the entity. The paper
+	// assumes data cleaning has already reconciled conflicting values, so
+	// all observations of an entity carry the same value; Sample.Add
+	// keeps the first value seen and reports disagreement.
+	Value float64
+	// Source identifies the data source (crowd worker, web page, ...).
+	Source string
+}
+
+// Sample accumulates observations and maintains all statistics the
+// estimators need. The zero value is an empty sample ready for use.
+type Sample struct {
+	counts  map[string]int     // entity -> occurrences in S
+	values  map[string]float64 // entity -> attribute value
+	sources map[string]int     // source -> contribution size n_j
+	order   []string           // entities in first-observation order
+	n       int                // |S|
+	fstat   map[int]int        // j -> f_j
+}
+
+// NewSample returns an empty sample.
+func NewSample() *Sample {
+	return &Sample{
+		counts:  make(map[string]int),
+		values:  make(map[string]float64),
+		sources: make(map[string]int),
+		fstat:   make(map[int]int),
+	}
+}
+
+// Add records one observation. It returns an error if the entity was seen
+// before with a different value, which indicates the input was not cleaned
+// (entity resolution / fusion is a prerequisite of the model, paper
+// Section 2). The observation still counts toward the multiset in that case
+// using the first value.
+func (s *Sample) Add(obs Observation) error {
+	s.ensureMaps()
+	if obs.EntityID == "" {
+		return fmt.Errorf("freqstats: observation with empty entity ID")
+	}
+	prev := s.counts[obs.EntityID]
+	if prev == 0 {
+		s.values[obs.EntityID] = obs.Value
+		s.order = append(s.order, obs.EntityID)
+	}
+	s.counts[obs.EntityID] = prev + 1
+	s.n++
+	if prev > 0 {
+		s.fstat[prev]--
+		if s.fstat[prev] == 0 {
+			delete(s.fstat, prev)
+		}
+	}
+	s.fstat[prev+1]++
+	s.sources[obs.Source]++
+
+	if prev > 0 && s.values[obs.EntityID] != obs.Value {
+		return fmt.Errorf("freqstats: entity %q observed with conflicting values %g and %g (input not cleaned)",
+			obs.EntityID, s.values[obs.EntityID], obs.Value)
+	}
+	return nil
+}
+
+// AddAll records all observations, stopping at the first error.
+func (s *Sample) AddAll(obs []Observation) error {
+	for _, o := range obs {
+		if err := s.Add(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Sample) ensureMaps() {
+	if s.counts == nil {
+		s.counts = make(map[string]int)
+		s.values = make(map[string]float64)
+		s.sources = make(map[string]int)
+		s.fstat = make(map[int]int)
+	}
+}
+
+// N returns the multiset size n = |S|.
+func (s *Sample) N() int { return s.n }
+
+// C returns the number of unique entities c = |K|.
+func (s *Sample) C() int { return len(s.counts) }
+
+// F returns f_j, the number of entities observed exactly j times.
+func (s *Sample) F(j int) int {
+	if s.fstat == nil {
+		return 0
+	}
+	return s.fstat[j]
+}
+
+// F1 returns the singleton count f_1.
+func (s *Sample) F1() int { return s.F(1) }
+
+// F2 returns the doubleton count f_2.
+func (s *Sample) F2() int { return s.F(2) }
+
+// FStatistics returns a copy of the full frequency statistic {j: f_j}.
+func (s *Sample) FStatistics() map[int]int {
+	out := make(map[int]int, len(s.fstat))
+	for j, f := range s.fstat {
+		out[j] = f
+	}
+	return out
+}
+
+// Count returns how many times entity id was observed.
+func (s *Sample) Count(id string) int {
+	if s.counts == nil {
+		return 0
+	}
+	return s.counts[id]
+}
+
+// Value returns the attribute value of entity id and whether it was
+// observed.
+func (s *Sample) Value(id string) (float64, bool) {
+	if s.values == nil {
+		return 0, false
+	}
+	v, ok := s.values[id]
+	return v, ok
+}
+
+// Entities returns the unique entity IDs in first-observation order. The
+// returned slice is a copy.
+func (s *Sample) Entities() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Values returns the attribute values of all unique entities in
+// first-observation order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.values[id])
+	}
+	return out
+}
+
+// SumValues returns phi_K: the aggregate SUM over the deduplicated
+// database K.
+func (s *Sample) SumValues() float64 {
+	var sum float64
+	for _, id := range s.order {
+		sum += s.values[id]
+	}
+	return sum
+}
+
+// SumSingletonValues returns phi_f1: the sum of attribute values over the
+// entities observed exactly once (paper Section 3.2).
+func (s *Sample) SumSingletonValues() float64 {
+	var sum float64
+	for id, cnt := range s.counts {
+		if cnt == 1 {
+			sum += s.values[id]
+		}
+	}
+	return sum
+}
+
+// SourceSizes returns the per-source contribution sizes n_j, sorted by
+// source name for determinism.
+func (s *Sample) SourceSizes() []int {
+	names := make([]string, 0, len(s.sources))
+	for name := range s.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]int, len(names))
+	for i, name := range names {
+		out[i] = s.sources[name]
+	}
+	return out
+}
+
+// NumSources returns the number of distinct sources l.
+func (s *Sample) NumSources() int { return len(s.sources) }
+
+// OccurrenceCounts returns the per-entity occurrence counts in descending
+// order. This is the "indexed" frequency profile compared by the
+// Monte-Carlo estimator's KL-divergence distance.
+func (s *Sample) OccurrenceCounts() []int {
+	out := make([]int, 0, len(s.counts))
+	for _, cnt := range s.counts {
+		out = append(out, cnt)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Clone returns a deep copy of the sample.
+func (s *Sample) Clone() *Sample {
+	c := NewSample()
+	c.n = s.n
+	for k, v := range s.counts {
+		c.counts[k] = v
+	}
+	for k, v := range s.values {
+		c.values[k] = v
+	}
+	for k, v := range s.sources {
+		c.sources[k] = v
+	}
+	for k, v := range s.fstat {
+		c.fstat[k] = v
+	}
+	c.order = append(c.order, s.order...)
+	return c
+}
+
+// Filter returns a new sample containing only entities for which keep
+// returns true (for WHERE-predicate evaluation: the estimators run on the
+// sub-population that satisfies the predicate). Observation counts and
+// source contributions are restricted accordingly. Source sizes n_j count
+// only the kept observations, since those are the ones that sample the
+// predicate's sub-population.
+func (s *Sample) Filter(keep func(id string, value float64) bool) *Sample {
+	out := NewSample()
+	for _, id := range s.order {
+		if !keep(id, s.values[id]) {
+			continue
+		}
+		cnt := s.counts[id]
+		out.counts[id] = cnt
+		out.values[id] = s.values[id]
+		out.order = append(out.order, id)
+		out.n += cnt
+		out.fstat[cnt]++
+	}
+	// Source sizes cannot be recovered per entity from the aggregate view;
+	// callers that need exact per-source filtered sizes should rebuild the
+	// sample from raw observations. We approximate by scaling each source's
+	// contribution by the kept fraction of n, which preserves the relative
+	// streakiness profile the Monte-Carlo estimator keys on.
+	if s.n > 0 {
+		frac := float64(out.n) / float64(s.n)
+		for name, nj := range s.sources {
+			scaled := int(float64(nj)*frac + 0.5)
+			if scaled > 0 {
+				out.sources[name] = scaled
+			}
+		}
+	}
+	return out
+}
+
+// Merge folds another sample into this one, as if other's observations
+// had been added here (distributed ingestion: shards merge into one
+// sample). Source names are shared — an entity counted once per source in
+// both shards is still counted twice after the merge, because Merge cannot
+// know whether the two shards saw the same mention; shard by source to
+// avoid double counting. An error is reported for value conflicts (first
+// value wins), mirroring Add.
+func (s *Sample) Merge(other *Sample) error {
+	s.ensureMaps()
+	var firstErr error
+	for _, id := range other.order {
+		cnt := other.counts[id]
+		prev := s.counts[id]
+		if prev == 0 {
+			s.values[id] = other.values[id]
+			s.order = append(s.order, id)
+		} else if s.values[id] != other.values[id] && firstErr == nil {
+			firstErr = fmt.Errorf("freqstats: entity %q merged with conflicting values %g and %g",
+				id, s.values[id], other.values[id])
+		}
+		s.counts[id] = prev + cnt
+		s.n += cnt
+		if prev > 0 {
+			s.fstat[prev]--
+			if s.fstat[prev] == 0 {
+				delete(s.fstat, prev)
+			}
+		}
+		s.fstat[prev+cnt]++
+	}
+	for src, nj := range other.sources {
+		s.sources[src] += nj
+	}
+	return firstErr
+}
+
+// CheckInvariants verifies internal consistency: sum_j j*f_j == n,
+// sum_j f_j == c, and every count is positive. It is used by tests and by
+// the engine's self-checks; a non-nil error indicates a bug in this
+// package.
+func (s *Sample) CheckInvariants() error {
+	var n, c int
+	for j, f := range s.fstat {
+		if j <= 0 || f < 0 {
+			return fmt.Errorf("freqstats: invalid f-statistic f_%d = %d", j, f)
+		}
+		n += j * f
+		c += f
+	}
+	if n != s.n {
+		return fmt.Errorf("freqstats: sum j*f_j = %d but n = %d", n, s.n)
+	}
+	if c != len(s.counts) {
+		return fmt.Errorf("freqstats: sum f_j = %d but c = %d", c, len(s.counts))
+	}
+	if len(s.order) != len(s.counts) {
+		return fmt.Errorf("freqstats: order has %d entities but counts has %d", len(s.order), len(s.counts))
+	}
+	var total int
+	for id, cnt := range s.counts {
+		if cnt <= 0 {
+			return fmt.Errorf("freqstats: entity %q has count %d", id, cnt)
+		}
+		total += cnt
+	}
+	if total != s.n {
+		return fmt.Errorf("freqstats: counts total %d but n = %d", total, s.n)
+	}
+	return nil
+}

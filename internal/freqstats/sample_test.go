@@ -1,0 +1,338 @@
+package freqstats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func obs(id string, v float64, src string) Observation {
+	return Observation{EntityID: id, Value: v, Source: src}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample // zero value must be usable
+	if s.N() != 0 || s.C() != 0 || s.F1() != 0 {
+		t.Errorf("zero sample: n=%d c=%d f1=%d", s.N(), s.C(), s.F1())
+	}
+	if s.SumValues() != 0 || s.SumSingletonValues() != 0 {
+		t.Error("zero sample sums not zero")
+	}
+	if got := s.Count("x"); got != 0 {
+		t.Errorf("Count on empty = %d", got)
+	}
+	if _, ok := s.Value("x"); ok {
+		t.Error("Value on empty reported ok")
+	}
+	if err := s.Add(obs("a", 1, "s1")); err != nil {
+		t.Fatalf("Add on zero value: %v", err)
+	}
+	if s.N() != 1 || s.C() != 1 {
+		t.Error("zero-value sample did not accept Add")
+	}
+}
+
+func TestAddMaintainsStatistics(t *testing.T) {
+	s := NewSample()
+	// Toy example from the paper's Appendix F (before s5): A seen twice,
+	// B seen once... we use: A x2, B x1, D x4 => n=7, c=3, f1=1, f2=1, f4=1.
+	seq := []Observation{
+		obs("A", 1000, "s1"), obs("B", 2000, "s1"), obs("D", 10000, "s1"),
+		obs("A", 1000, "s2"), obs("D", 10000, "s2"),
+		obs("D", 10000, "s3"),
+		obs("D", 10000, "s4"),
+	}
+	if err := s.AddAll(seq); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 7 {
+		t.Errorf("n = %d, want 7", s.N())
+	}
+	if s.C() != 3 {
+		t.Errorf("c = %d, want 3", s.C())
+	}
+	if s.F1() != 1 || s.F2() != 1 || s.F(4) != 1 || s.F(3) != 0 {
+		t.Errorf("f-stats: f1=%d f2=%d f3=%d f4=%d", s.F1(), s.F2(), s.F(3), s.F(4))
+	}
+	if got := s.SumValues(); got != 13000 {
+		t.Errorf("phi_K = %g, want 13000", got)
+	}
+	if got := s.SumSingletonValues(); got != 2000 {
+		t.Errorf("phi_f1 = %g, want 2000 (B is the only singleton)", got)
+	}
+	if got := s.Count("D"); got != 4 {
+		t.Errorf("Count(D) = %d, want 4", got)
+	}
+	if v, ok := s.Value("A"); !ok || v != 1000 {
+		t.Errorf("Value(A) = %g, %v", v, ok)
+	}
+	if s.NumSources() != 4 {
+		t.Errorf("sources = %d, want 4", s.NumSources())
+	}
+	sizes := s.SourceSizes()
+	want := []int{3, 2, 1, 1}
+	if len(sizes) != 4 || sizes[0] != want[0] || sizes[1] != want[1] || sizes[2] != want[2] || sizes[3] != want[3] {
+		t.Errorf("source sizes = %v, want %v", sizes, want)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRejectsEmptyID(t *testing.T) {
+	s := NewSample()
+	if err := s.Add(obs("", 1, "s")); err == nil {
+		t.Error("empty entity ID not reported")
+	}
+}
+
+func TestAddReportsConflictingValues(t *testing.T) {
+	s := NewSample()
+	if err := s.Add(obs("a", 1, "s1")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Add(obs("a", 2, "s2"))
+	if err == nil {
+		t.Fatal("conflicting value not reported")
+	}
+	// The observation still counts, with the first value kept.
+	if s.N() != 2 || s.Count("a") != 2 {
+		t.Errorf("after conflict: n=%d count=%d", s.N(), s.Count("a"))
+	}
+	if v, _ := s.Value("a"); v != 1 {
+		t.Errorf("value after conflict = %g, want first value 1", v)
+	}
+}
+
+func TestEntitiesAndValuesOrder(t *testing.T) {
+	s := NewSample()
+	must(t, s.AddAll([]Observation{
+		obs("b", 2, "s"), obs("a", 1, "s"), obs("b", 2, "s"), obs("c", 3, "s"),
+	}))
+	ids := s.Entities()
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("entities = %v, want %v", ids, want)
+		}
+	}
+	vals := s.Values()
+	wantV := []float64{2, 1, 3}
+	for i := range wantV {
+		if vals[i] != wantV[i] {
+			t.Fatalf("values = %v, want %v", vals, wantV)
+		}
+	}
+	// Returned slices are copies.
+	ids[0] = "mutated"
+	if s.Entities()[0] != "b" {
+		t.Error("Entities exposed internal state")
+	}
+}
+
+func TestOccurrenceCountsDescending(t *testing.T) {
+	s := NewSample()
+	must(t, s.AddAll([]Observation{
+		obs("a", 1, "s"), obs("a", 1, "s"), obs("a", 1, "s"),
+		obs("b", 2, "s"),
+		obs("c", 3, "s"), obs("c", 3, "s"),
+	}))
+	got := s.OccurrenceCounts()
+	want := []int{3, 2, 1}
+	if len(got) != 3 {
+		t.Fatalf("counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSample()
+	must(t, s.AddAll([]Observation{obs("a", 1, "s1"), obs("b", 2, "s2")}))
+	c := s.Clone()
+	must(t, c.Add(obs("c", 3, "s3")))
+	if s.C() != 2 || c.C() != 3 {
+		t.Errorf("clone not independent: orig c=%d clone c=%d", s.C(), c.C())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := NewSample()
+	must(t, s.AddAll([]Observation{
+		obs("small1", 10, "s1"), obs("small2", 20, "s1"),
+		obs("big", 1000, "s1"), obs("big", 1000, "s2"),
+		obs("small1", 10, "s2"),
+	}))
+	f := s.Filter(func(id string, v float64) bool { return v < 100 })
+	if f.C() != 2 {
+		t.Errorf("filtered c = %d, want 2", f.C())
+	}
+	if f.N() != 3 {
+		t.Errorf("filtered n = %d, want 3 (small1 x2, small2 x1)", f.N())
+	}
+	if f.F1() != 1 || f.F2() != 1 {
+		t.Errorf("filtered f1=%d f2=%d", f.F1(), f.F2())
+	}
+	if got := f.SumValues(); got != 30 {
+		t.Errorf("filtered sum = %g, want 30", got)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Original untouched.
+	if s.C() != 3 || s.N() != 5 {
+		t.Error("Filter mutated the source sample")
+	}
+}
+
+func TestFStatisticsCopy(t *testing.T) {
+	s := NewSample()
+	must(t, s.Add(obs("a", 1, "s")))
+	f := s.FStatistics()
+	f[1] = 99
+	if s.F1() != 1 {
+		t.Error("FStatistics exposed internal map")
+	}
+}
+
+// Property: after any sequence of observations, sum_j j*f_j == n and
+// sum_j f_j == c.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(ids []uint8, seed int64) bool {
+		s := NewSample()
+		rng := rand.New(rand.NewSource(seed))
+		for _, raw := range ids {
+			id := fmt.Sprintf("e%d", raw%32)
+			src := fmt.Sprintf("s%d", rng.Intn(5))
+			// Values derived from the id so there are never conflicts.
+			_ = s.Add(obs(id, float64(raw%32)*10, src))
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: singleton sum is always a sub-sum of the total.
+func TestSingletonSumProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		s := NewSample()
+		for _, raw := range ids {
+			id := fmt.Sprintf("e%d", raw%16)
+			_ = s.Add(obs(id, float64(raw%16)+1, "s"))
+		}
+		return s.SumSingletonValues() <= s.SumValues()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSample()
+	must(t, a.AddAll([]Observation{
+		obs("x", 1, "s1"), obs("y", 2, "s1"), obs("x", 1, "s2"),
+	}))
+	b := NewSample()
+	must(t, b.AddAll([]Observation{
+		obs("x", 1, "s3"), obs("z", 3, "s3"),
+	}))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 5 || a.C() != 3 {
+		t.Errorf("merged: n=%d c=%d", a.N(), a.C())
+	}
+	if a.Count("x") != 3 {
+		t.Errorf("Count(x) = %d, want 3", a.Count("x"))
+	}
+	if a.F1() != 2 || a.F(3) != 1 {
+		t.Errorf("f-stats after merge: f1=%d f3=%d", a.F1(), a.F(3))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// b untouched.
+	if b.N() != 2 || b.C() != 2 {
+		t.Errorf("source sample mutated: n=%d c=%d", b.N(), b.C())
+	}
+}
+
+func TestMergeConflict(t *testing.T) {
+	a := NewSample()
+	must(t, a.Add(obs("x", 1, "s1")))
+	b := NewSample()
+	must(t, b.Add(obs("x", 99, "s2")))
+	err := a.Merge(b)
+	if err == nil {
+		t.Fatal("conflict not reported")
+	}
+	// Observation still counted with the first value.
+	if a.Count("x") != 2 {
+		t.Errorf("Count(x) = %d", a.Count("x"))
+	}
+	if v, _ := a.Value("x"); v != 1 {
+		t.Errorf("value = %g", v)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeIntoZeroValue(t *testing.T) {
+	var a Sample
+	b := NewSample()
+	must(t, b.Add(obs("x", 1, "s")))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 1 || a.C() != 1 {
+		t.Errorf("n=%d c=%d", a.N(), a.C())
+	}
+}
+
+// Property: merging shards source-by-source equals building one sample.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		whole := NewSample()
+		shards := [3]*Sample{NewSample(), NewSample(), NewSample()}
+		for i, raw := range ids {
+			o := obs(fmt.Sprintf("e%d", raw%16), float64(raw%16), fmt.Sprintf("s%d", i%6))
+			_ = whole.Add(o)
+			_ = shards[(i%6)%3].Add(o) // shard by source: s0,s3 -> 0; s1,s4 -> 1; ...
+		}
+		merged := NewSample()
+		for _, sh := range shards {
+			if err := merged.Merge(sh); err != nil {
+				return false
+			}
+		}
+		if merged.N() != whole.N() || merged.C() != whole.C() {
+			return false
+		}
+		for j, fj := range whole.FStatistics() {
+			if merged.F(j) != fj {
+				return false
+			}
+		}
+		return merged.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

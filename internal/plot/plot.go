@@ -1,0 +1,228 @@
+// Package plot renders numeric series as ASCII line charts, so the
+// experiment harness can show the paper's figures directly in a terminal
+// (the tables remain the precise record; the charts carry the shape).
+//
+// The renderer maps each series onto a character canvas with shared axes,
+// one marker rune per series, a y-axis with tick labels, and a legend.
+// NaN points (gaps, e.g. diverged estimates) are simply not drawn,
+// mirroring the missing data points in the paper's Figures 8 and 9.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config controls chart geometry.
+type Config struct {
+	// Width and Height are the plot area size in characters (excluding
+	// axes and labels). Zero values default to 72x20.
+	Width, Height int
+	// Markers assigns one rune per series, cycling if there are more
+	// series than runes. Nil uses the default palette.
+	Markers []rune
+	// YLabel annotates the y axis.
+	YLabel string
+}
+
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+func (c Config) width() int {
+	if c.Width <= 0 {
+		return 72
+	}
+	return c.Width
+}
+
+func (c Config) height() int {
+	if c.Height <= 0 {
+		return 20
+	}
+	return c.Height
+}
+
+func (c Config) markers() []rune {
+	if len(c.Markers) == 0 {
+		return defaultMarkers
+	}
+	return c.Markers
+}
+
+// Render draws the series onto w. Series may have different X grids. An
+// error is returned only when nothing is drawable (no finite points).
+func Render(w io.Writer, series []Series, cfg Config) error {
+	xMin, xMax, yMin, yMax, any := bounds(series)
+	if !any {
+		return fmt.Errorf("plot: no finite points to draw")
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// A little headroom so extreme points do not sit on the frame.
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	width, height := cfg.width(), cfg.height()
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = make([]rune, width)
+		for c := range canvas[r] {
+			canvas[r][c] = ' '
+		}
+	}
+
+	markers := cfg.markers()
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		var prevCol, prevRow int
+		havePrev := false
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				havePrev = false
+				continue
+			}
+			col := scale(s.X[i], xMin, xMax, width)
+			row := height - 1 - scale(s.Y[i], yMin, yMax, height)
+			if havePrev {
+				drawSegment(canvas, prevCol, prevRow, col, row, marker)
+			}
+			canvas[row][col] = marker
+			prevCol, prevRow = col, row
+			havePrev = true
+		}
+	}
+
+	// y-axis labels on 5 ticks.
+	labelWidth := 0
+	ticks := 5
+	labels := make(map[int]string, ticks)
+	for tk := 0; tk < ticks; tk++ {
+		row := tk * (height - 1) / (ticks - 1)
+		y := yMax - (yMax-yMin)*float64(row)/float64(height-1)
+		lbl := formatTick(y)
+		labels[row] = lbl
+		if len(lbl) > labelWidth {
+			labelWidth = len(lbl)
+		}
+	}
+
+	if cfg.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", cfg.YLabel); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < height; r++ {
+		lbl := labels[r]
+		if _, err := fmt.Fprintf(w, "%*s |%s\n", labelWidth, lbl, string(canvas[r])); err != nil {
+			return err
+		}
+	}
+	// x axis.
+	if _, err := fmt.Fprintf(w, "%*s +%s\n", labelWidth, "", strings.Repeat("-", cfg.width())); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%*s  %-*s%s\n", labelWidth, "",
+		cfg.width()-len(formatTick(xMax)), formatTick(xMin), formatTick(xMax)); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, "   "))
+	return err
+}
+
+func bounds(series []Series) (xMin, xMax, yMin, yMax float64, any bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			any = true
+			if s.X[i] < xMin {
+				xMin = s.X[i]
+			}
+			if s.X[i] > xMax {
+				xMax = s.X[i]
+			}
+			if s.Y[i] < yMin {
+				yMin = s.Y[i]
+			}
+			if s.Y[i] > yMax {
+				yMax = s.Y[i]
+			}
+		}
+	}
+	return xMin, xMax, yMin, yMax, any
+}
+
+// scale maps v in [lo, hi] to a cell index in [0, cells-1].
+func scale(v, lo, hi float64, cells int) int {
+	idx := int(math.Round((v - lo) / (hi - lo) * float64(cells-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= cells {
+		idx = cells - 1
+	}
+	return idx
+}
+
+// drawSegment draws a light interpolation trace ('.') between two plotted
+// points so lines read as lines; endpoints keep the series marker.
+func drawSegment(canvas [][]rune, c0, r0, c1, r1 int, marker rune) {
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if canvas[r][c] == ' ' {
+			canvas[r][c] = '.'
+		}
+	}
+	_ = marker
+}
+
+func formatTick(x float64) string {
+	abs := math.Abs(x)
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g", x)
+	case abs >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x == math.Trunc(x):
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) float64) ([]float64, []float64) {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = f(i)
+	}
+	return xs, ys
+}
+
+func TestRenderBasic(t *testing.T) {
+	xs, ys := line(20, func(i int) float64 { return float64(i * i) })
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{{Name: "quad", X: xs, Y: ys}}, Config{Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "legend: * quad") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no markers drawn")
+	}
+	// 10 plot rows + axis + x labels + legend.
+	if got := strings.Count(out, "\n"); got != 13 {
+		t.Errorf("line count = %d, want 13:\n%s", got, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, nil, Config{}); err == nil {
+		t.Error("empty input not reported")
+	}
+	// All-NaN series is also undrawable.
+	if err := Render(&buf, []Series{{Name: "gap", X: []float64{1, 2}, Y: []float64{math.NaN(), math.NaN()}}}, Config{}); err == nil {
+		t.Error("all-NaN input not reported")
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, math.NaN(), 3, math.Inf(1), 5}
+	var buf bytes.Buffer
+	if err := Render(&buf, []Series{{Name: "gappy", X: xs, Y: ys}}, Config{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("finite points not drawn")
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	xs, ys1 := line(10, func(i int) float64 { return float64(i) })
+	_, ys2 := line(10, func(i int) float64 { return float64(10 - i) })
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{
+		{Name: "up", X: xs, Y: ys1},
+		{Name: "down", X: xs, Y: ys2},
+	}, Config{Width: 30, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("distinct markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	xs, ys := line(5, func(int) float64 { return 42 })
+	var buf bytes.Buffer
+	if err := Render(&buf, []Series{{Name: "flat", X: xs, Y: ys}}, Config{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate y-range must not divide by zero; the flat line renders.
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("flat line not drawn")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{{Name: "dot", X: []float64{5}, Y: []float64{7}}}, Config{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plotArea := buf.String()[:strings.Index(buf.String(), "legend:")]
+	if strings.Count(plotArea, "*") != 1 {
+		t.Errorf("single point drawn %d times:\n%s", strings.Count(plotArea, "*"), buf.String())
+	}
+}
+
+func TestRenderYLabel(t *testing.T) {
+	xs, ys := line(5, func(i int) float64 { return float64(i) })
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{{Name: "s", X: xs, Y: ys}}, Config{Width: 20, Height: 5, YLabel: "SUM(employees)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "SUM(employees)\n") {
+		t.Errorf("y label missing:\n%s", buf.String())
+	}
+}
+
+func TestScaleClamping(t *testing.T) {
+	if got := scale(-100, 0, 10, 20); got != 0 {
+		t.Errorf("below range scaled to %d", got)
+	}
+	if got := scale(100, 0, 10, 20); got != 19 {
+		t.Errorf("above range scaled to %d", got)
+	}
+	if got := scale(0, 0, 10, 20); got != 0 {
+		t.Errorf("lo scaled to %d", got)
+	}
+	if got := scale(10, 0, 10, 20); got != 19 {
+		t.Errorf("hi scaled to %d", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{4314000, "4.31e+06"},
+		{50500, "50500"},
+		{505, "505"},
+		{0.5, "0.50"},
+		{-1234, "-1234"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.in); got != tt.want {
+			t.Errorf("formatTick(%g) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package quality is the data-cleaning front end the estimation model
+// presupposes: the paper (Section 2) assumes that "after a proper data
+// cleaning process we have one instance per observed entity and know
+// exactly how many times the entity was observed across multiple data
+// sources". This package turns raw, messy reports into that shape:
+//
+//   - entity resolution: normalize entity labels and cluster near-equal
+//     labels (exact match after normalization, optionally fuzzy matching
+//     with a bounded edit distance);
+//   - value fusion: reconcile conflicting values reported for one entity
+//     (majority vote, average, median or first-seen);
+//   - deduplication: collapse repeated reports of an entity by the same
+//     source (sources sample without replacement — one mention each).
+//
+// Cleaning quality influences estimation quality, but the two concerns
+// stay separate, exactly as in the paper.
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/freqstats"
+	"repro/internal/stats"
+)
+
+// RawReport is one uncleaned data item as it arrives from a source.
+type RawReport struct {
+	// Entity is the reported entity label (possibly misspelled,
+	// differently cased, decorated with suffixes...).
+	Entity string
+	// Value is the reported attribute value.
+	Value float64
+	// Source identifies the reporting source.
+	Source string
+}
+
+// FusionPolicy reconciles conflicting values for one entity.
+type FusionPolicy int
+
+// Fusion policies.
+const (
+	// FuseMajority takes the most frequently reported value (ties broken
+	// toward the smaller value for determinism).
+	FuseMajority FusionPolicy = iota
+	// FuseAverage averages all reported values (the paper's choice: "if
+	// workers disagreed on the value we used the average").
+	FuseAverage
+	// FuseMedian takes the median reported value.
+	FuseMedian
+	// FuseFirst keeps the first reported value.
+	FuseFirst
+)
+
+func (p FusionPolicy) String() string {
+	switch p {
+	case FuseMajority:
+		return "majority"
+	case FuseAverage:
+		return "average"
+	case FuseMedian:
+		return "median"
+	case FuseFirst:
+		return "first"
+	default:
+		return fmt.Sprintf("FusionPolicy(%d)", int(p))
+	}
+}
+
+// Options configures the cleaning pipeline.
+type Options struct {
+	// Fusion is the value-reconciliation policy (default FuseAverage,
+	// matching the paper's procedure).
+	Fusion FusionPolicy
+	// MaxEditDistance enables fuzzy entity resolution: normalized labels
+	// within this Levenshtein distance are clustered together (0 disables
+	// fuzzy matching; exact normalized matching always applies). Fuzzy
+	// clustering assigns each label to the earliest-seen cluster within
+	// range, which keeps the pass deterministic and O(labels x clusters).
+	MaxEditDistance int
+	// Stopwords are label tokens dropped during normalization (e.g.
+	// "inc", "corp", "llc"). Comparison is case-insensitive.
+	Stopwords []string
+}
+
+// Report summarizes what cleaning did, for audit logs.
+type Report struct {
+	// RawCount is the number of raw reports consumed.
+	RawCount int
+	// Observations is the number of cleaned observations produced.
+	Observations int
+	// MergedLabels counts raw labels that were folded into another
+	// cluster (fuzzy or normalization merges).
+	MergedLabels int
+	// DuplicateReports counts (entity, source) repeats that were dropped.
+	DuplicateReports int
+	// ValueConflicts counts entities whose sources disagreed on the value.
+	ValueConflicts int
+}
+
+// Clean runs the full pipeline and returns cleaned observations (one per
+// surviving (entity, source) pair, carrying the fused value) plus an audit
+// report. Raw reports with empty entity or source are rejected.
+func Clean(raw []RawReport, opts Options) ([]freqstats.Observation, Report, error) {
+	rep := Report{RawCount: len(raw)}
+
+	type cluster struct {
+		key       string // normalized representative label
+		sources   map[string]bool
+		values    []float64
+		first     int // arrival index, for deterministic output order
+		rawLabels map[string]bool
+	}
+	var clusters []*cluster
+	byKey := map[string]*cluster{}
+
+	stop := map[string]bool{}
+	for _, w := range opts.Stopwords {
+		stop[strings.ToLower(w)] = true
+	}
+
+	for i, r := range raw {
+		if r.Entity == "" {
+			return nil, rep, fmt.Errorf("quality: report %d has an empty entity", i)
+		}
+		if r.Source == "" {
+			return nil, rep, fmt.Errorf("quality: report %d has an empty source", i)
+		}
+		key := Normalize(r.Entity, stop)
+		if key == "" {
+			return nil, rep, fmt.Errorf("quality: report %d: entity %q normalizes to nothing", i, r.Entity)
+		}
+		cl, ok := byKey[key]
+		if !ok && opts.MaxEditDistance > 0 {
+			// Fuzzy pass: fold into the earliest cluster within range.
+			for _, cand := range clusters {
+				if WithinEditDistance(key, cand.key, opts.MaxEditDistance) {
+					cl = cand
+					byKey[key] = cand
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			cl = &cluster{key: key, sources: map[string]bool{}, first: i, rawLabels: map[string]bool{}}
+			clusters = append(clusters, cl)
+			byKey[key] = cl
+		}
+		// Every distinct raw spelling beyond a cluster's first counts as a
+		// merged label, whether it was folded by normalization or fuzzily.
+		if !cl.rawLabels[r.Entity] {
+			if len(cl.rawLabels) > 0 {
+				rep.MergedLabels++
+			}
+			cl.rawLabels[r.Entity] = true
+		}
+		if cl.sources[r.Source] {
+			rep.DuplicateReports++
+			continue
+		}
+		cl.sources[r.Source] = true
+		cl.values = append(cl.values, r.Value)
+	}
+
+	var out []freqstats.Observation
+	for _, cl := range clusters {
+		fused, conflicted := fuse(cl.values, opts.Fusion)
+		if conflicted {
+			rep.ValueConflicts++
+		}
+		srcs := make([]string, 0, len(cl.sources))
+		for s := range cl.sources {
+			srcs = append(srcs, s)
+		}
+		sort.Strings(srcs)
+		for _, s := range srcs {
+			out = append(out, freqstats.Observation{EntityID: cl.key, Value: fused, Source: s})
+		}
+	}
+	// Deterministic output: clusters by first arrival.
+	sort.SliceStable(out, func(a, b int) bool {
+		ca, cb := byKey[out[a].EntityID], byKey[out[b].EntityID]
+		if ca.first != cb.first {
+			return ca.first < cb.first
+		}
+		return out[a].Source < out[b].Source
+	})
+	rep.Observations = len(out)
+	return out, rep, nil
+}
+
+// fuse reconciles the reported values; the second return reports whether
+// the sources actually disagreed.
+func fuse(values []float64, policy FusionPolicy) (float64, bool) {
+	if len(values) == 0 {
+		return 0, false
+	}
+	conflicted := false
+	for _, v := range values[1:] {
+		if v != values[0] {
+			conflicted = true
+			break
+		}
+	}
+	switch policy {
+	case FuseAverage:
+		return stats.Mean(values), conflicted
+	case FuseMedian:
+		return stats.Median(values), conflicted
+	case FuseFirst:
+		return values[0], conflicted
+	default: // FuseMajority
+		counts := map[float64]int{}
+		for _, v := range values {
+			counts[v]++
+		}
+		best, bestCount := values[0], 0
+		for v, c := range counts {
+			if c > bestCount || (c == bestCount && v < best) {
+				best, bestCount = v, c
+			}
+		}
+		return best, conflicted
+	}
+}
+
+// Normalize canonicalizes an entity label: lower-case, punctuation to
+// spaces, stopword tokens removed, whitespace collapsed.
+func Normalize(label string, stopwords map[string]bool) string {
+	var sb strings.Builder
+	for _, r := range label {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(unicode.ToLower(r))
+		default:
+			sb.WriteRune(' ')
+		}
+	}
+	fields := strings.Fields(sb.String())
+	kept := fields[:0]
+	for _, f := range fields {
+		if !stopwords[f] {
+			kept = append(kept, f)
+		}
+	}
+	return strings.Join(kept, " ")
+}
+
+// WithinEditDistance reports whether the Levenshtein distance between a
+// and b is at most k, using a banded dynamic program that exits early —
+// O(min(len(a), len(b)) * k) time.
+func WithinEditDistance(a, b string, k int) bool {
+	if k < 0 {
+		return false
+	}
+	la, lb := len(a), len(b)
+	if la-lb > k || lb-la > k {
+		return false
+	}
+	if la == 0 {
+		return lb <= k
+	}
+	if lb == 0 {
+		return la <= k
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > k {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb] <= k
+}

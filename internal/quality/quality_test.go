@@ -1,0 +1,257 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/freqstats"
+)
+
+func TestNormalize(t *testing.T) {
+	stop := map[string]bool{"inc": true, "corp": true}
+	tests := []struct {
+		in, want string
+	}{
+		{"Google, Inc.", "google"},
+		{"GOOGLE", "google"},
+		{"Acme Corp", "acme"},
+		{"  spaced   out  ", "spaced out"},
+		{"Hyphen-Name LLC", "hyphen name llc"}, // llc not a stopword here
+		{"Ümlaut ÅB", "ümlaut åb"},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in, stop); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWithinEditDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		k    int
+		want bool
+	}{
+		{"", "", 0, true},
+		{"a", "", 1, true},
+		{"a", "", 0, false},
+		{"kitten", "sitting", 3, true},
+		{"kitten", "sitting", 2, false},
+		{"google", "gogle", 1, true},
+		{"google", "googel", 2, true},
+		{"abc", "xyz", 2, false},
+		{"same", "same", 0, true},
+		{"long-prefix-x", "long-prefix-y", 1, true},
+		{"ab", "ba", 2, true},
+		{"negative", "anything", -1, false},
+	}
+	for _, tt := range tests {
+		if got := WithinEditDistance(tt.a, tt.b, tt.k); got != tt.want {
+			t.Errorf("WithinEditDistance(%q, %q, %d) = %v, want %v", tt.a, tt.b, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestCleanExactResolution(t *testing.T) {
+	raw := []RawReport{
+		{"Google, Inc.", 100, "w1"},
+		{"GOOGLE", 100, "w2"},
+		{"google inc", 100, "w3"},
+		{"Acme", 5, "w1"},
+	}
+	obs, rep, err := Clean(raw, Options{Stopwords: []string{"inc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations != 4 {
+		t.Errorf("observations = %d, want 4", rep.Observations)
+	}
+	s := freqstats.NewSample()
+	if err := s.AddAll(obs); err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 2 {
+		t.Errorf("unique entities = %d, want 2 (google + acme)", s.C())
+	}
+	if s.Count("google") != 3 {
+		t.Errorf("google observed %d times, want 3", s.Count("google"))
+	}
+}
+
+func TestCleanFuzzyResolution(t *testing.T) {
+	// Labels are folded into the earliest cluster key within edit range,
+	// so the canonical spelling arriving first anchors the cluster.
+	raw := []RawReport{
+		{"Microsoft", 100, "w1"},
+		{"Mikrosoft", 100, "w2"}, // substitution: distance 1
+		{"Microsfot", 100, "w3"}, // transposition: distance 2
+		{"Oracle", 50, "w1"},
+	}
+	obs, rep, err := Clean(raw, Options{MaxEditDistance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := freqstats.NewSample()
+	if err := s.AddAll(obs); err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 2 {
+		t.Errorf("unique entities = %d, want 2", s.C())
+	}
+	if rep.MergedLabels != 2 {
+		t.Errorf("merged labels = %d, want 2", rep.MergedLabels)
+	}
+	if s.Count("microsoft") != 3 {
+		t.Errorf("cluster count = %d, want 3", s.Count("microsoft"))
+	}
+}
+
+func TestCleanDeduplicatesPerSource(t *testing.T) {
+	raw := []RawReport{
+		{"A", 10, "w1"},
+		{"A", 10, "w1"}, // same source repeats
+		{"A", 10, "w2"},
+	}
+	obs, rep, err := Clean(raw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 {
+		t.Errorf("observations = %d, want 2", len(obs))
+	}
+	if rep.DuplicateReports != 1 {
+		t.Errorf("duplicates = %d, want 1", rep.DuplicateReports)
+	}
+}
+
+func TestCleanFusionPolicies(t *testing.T) {
+	raw := []RawReport{
+		{"A", 10, "w1"},
+		{"A", 20, "w2"},
+		{"A", 20, "w3"},
+	}
+	tests := []struct {
+		policy FusionPolicy
+		want   float64
+	}{
+		{FuseAverage, 50.0 / 3},
+		{FuseMedian, 20},
+		{FuseMajority, 20},
+		{FuseFirst, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.policy.String(), func(t *testing.T) {
+			obs, rep, err := Clean(raw, Options{Fusion: tt.policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ValueConflicts != 1 {
+				t.Errorf("conflicts = %d, want 1", rep.ValueConflicts)
+			}
+			for _, o := range obs {
+				if diff := o.Value - tt.want; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("fused value = %g, want %g", o.Value, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestCleanMajorityTieBreak(t *testing.T) {
+	raw := []RawReport{
+		{"A", 30, "w1"},
+		{"A", 10, "w2"},
+	}
+	obs, _, err := Clean(raw, Options{Fusion: FuseMajority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0].Value != 10 {
+		t.Errorf("tie broke to %g, want 10 (smaller value)", obs[0].Value)
+	}
+}
+
+func TestCleanErrors(t *testing.T) {
+	if _, _, err := Clean([]RawReport{{"", 1, "w"}}, Options{}); err == nil {
+		t.Error("empty entity not reported")
+	}
+	if _, _, err := Clean([]RawReport{{"A", 1, ""}}, Options{}); err == nil {
+		t.Error("empty source not reported")
+	}
+	if _, _, err := Clean([]RawReport{{"!!!", 1, "w"}}, Options{}); err == nil {
+		t.Error("label normalizing to nothing not reported")
+	}
+	if _, _, err := Clean([]RawReport{{"Inc", 1, "w"}}, Options{Stopwords: []string{"inc"}}); err == nil {
+		t.Error("all-stopword label not reported")
+	}
+}
+
+func TestCleanDeterministicOrder(t *testing.T) {
+	raw := []RawReport{
+		{"B", 2, "w2"},
+		{"A", 1, "w1"},
+		{"B", 2, "w1"},
+	}
+	a, _, err := Clean(raw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Clean(raw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// First-arrival cluster order: B before A.
+	if a[0].EntityID != "b" {
+		t.Errorf("first cluster = %q, want b", a[0].EntityID)
+	}
+}
+
+func TestCleanEndToEndIntoEstimator(t *testing.T) {
+	// Messy duplicated crowd data cleans into a usable sample.
+	raw := []RawReport{
+		{"Acme Inc.", 1000, "w1"},
+		{"ACME", 1010, "w2"}, // disagreeing value: averaged
+		{"Globex Corp", 2000, "w1"},
+		{"globex", 2000, "w3"},
+		{"Initech", 500, "w2"},
+	}
+	obs, rep, err := Clean(raw, Options{
+		Fusion:    FuseAverage,
+		Stopwords: []string{"inc", "corp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ValueConflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", rep.ValueConflicts)
+	}
+	s := freqstats.NewSample()
+	if err := s.AddAll(obs); err != nil {
+		t.Fatalf("cleaned observations still conflict: %v", err)
+	}
+	if s.C() != 3 {
+		t.Errorf("c = %d, want 3", s.C())
+	}
+	if v, _ := s.Value("acme"); v != 1005 {
+		t.Errorf("acme fused value = %g, want 1005", v)
+	}
+}
+
+func TestFusionPolicyString(t *testing.T) {
+	for _, p := range []FusionPolicy{FuseMajority, FuseAverage, FuseMedian, FuseFirst} {
+		if s := p.String(); s == "" || strings.HasPrefix(s, "FusionPolicy(") {
+			t.Errorf("String for %d = %q", int(p), s)
+		}
+	}
+	if s := FusionPolicy(99).String(); !strings.HasPrefix(s, "FusionPolicy(") {
+		t.Errorf("unknown policy String = %q", s)
+	}
+}

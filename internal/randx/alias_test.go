@@ -1,0 +1,168 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAliasSamplerValidation(t *testing.T) {
+	if _, err := NewAliasSampler(nil); err == nil {
+		t.Error("empty weights not reported")
+	}
+	if _, err := NewAliasSampler([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights not reported")
+	}
+	if _, err := NewAliasSampler([]float64{-1, 1}); err == nil {
+		t.Error("negative weight not reported")
+	}
+}
+
+func TestAliasSamplerUniform(t *testing.T) {
+	a, err := NewAliasSampler(UniformWeights(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 4 {
+		t.Fatalf("N = %d", a.N())
+	}
+	rng := New(1)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("cell %d drawn %.3f of the time, want 0.25", i, frac)
+		}
+	}
+}
+
+func TestAliasSamplerMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAliasSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := New(2)
+	counts := make([]int, len(weights))
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		frac := float64(counts[i]) / draws
+		if math.Abs(frac-want) > 0.01 {
+			t.Errorf("cell %d drawn %.3f of the time, want %.3f", i, frac, want)
+		}
+	}
+}
+
+func TestAliasSamplerZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAliasSampler([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := New(3)
+	for i := 0; i < 10000; i++ {
+		idx := a.Draw(rng)
+		if idx == 0 || idx == 2 {
+			t.Fatalf("zero-weight index %d drawn", idx)
+		}
+	}
+}
+
+func TestAliasSamplerSkewed(t *testing.T) {
+	// A heavily skewed exponential vector still normalizes correctly.
+	weights := ExponentialWeights(50, 4)
+	a, err := NewAliasSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := New(4)
+	counts := make([]int, 50)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	// Head cell expected share.
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	want := weights[0] / total
+	frac := float64(counts[0]) / draws
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("head drawn %.3f, want %.3f", frac, want)
+	}
+}
+
+func TestAliasSamplerDrawN(t *testing.T) {
+	a, err := NewAliasSampler([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := New(5)
+	out, err := a.DrawN(rng, 10)
+	if err != nil || len(out) != 10 {
+		t.Fatalf("DrawN: %v, %v", out, err)
+	}
+	if _, err := a.DrawN(rng, -1); err == nil {
+		t.Error("negative k not reported")
+	}
+}
+
+func TestAliasAgreesWithCumulativeSampler(t *testing.T) {
+	// The alias method and the binary-search sampler must produce the
+	// same marginal distribution.
+	weights := []float64{5, 1, 3, 0.5, 2}
+	a, err := NewAliasSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	aCounts := make([]float64, len(weights))
+	rng := New(6)
+	for i := 0; i < draws; i++ {
+		aCounts[a.Draw(rng)]++
+	}
+	idx, err := SampleWithReplacement(New(7), weights, draws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCounts := make([]float64, len(weights))
+	for _, i := range idx {
+		cCounts[i]++
+	}
+	for i := range weights {
+		diff := math.Abs(aCounts[i]-cCounts[i]) / draws
+		if diff > 0.01 {
+			t.Errorf("cell %d: alias %.3f vs cumulative %.3f", i, aCounts[i]/draws, cCounts[i]/draws)
+		}
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	a, err := NewAliasSampler(ExponentialWeights(1000, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Draw(rng)
+	}
+}
+
+func BenchmarkCumulativeDraw(b *testing.B) {
+	weights := ExponentialWeights(1000, 2)
+	rng := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleWithReplacement(rng, weights, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/freqstats"
+)
+
+// The integration model assumes independent sources (Section 2.2); the
+// paper notes that "data sources are not always independent" and that
+// violating this assumption degrades estimates. This file models the
+// violation so experiments can measure the degradation: copying sources
+// replicate another source's items instead of sampling the ground truth.
+
+// DependentConfig extends IntegrationConfig with source copying.
+type DependentConfig struct {
+	// Independent is the number of genuinely independent sources.
+	Independent int
+	// Copiers is the number of sources that copy a random earlier source
+	// (for example mirror sites or plagiarized listings).
+	Copiers int
+	// SourceSize is the per-source sample size for independent sources;
+	// copiers replicate CopyFraction of their victim.
+	SourceSize int
+	// CopyFraction in (0, 1] is the fraction of the copied source's items
+	// a copier replicates; 0 means 1.0 (full copies).
+	CopyFraction float64
+	// Interleave shuffles the final arrival order.
+	Interleave bool
+}
+
+// IntegrateDependent samples independent sources from the ground truth and
+// then appends copier sources that duplicate earlier sources' items. The
+// copies carry fresh source names, so the estimators (which key on
+// cross-source overlap) see inflated duplicate counts — exactly the
+// correlated-source pathology the paper warns about.
+func IntegrateDependent(rng *rand.Rand, g *GroundTruth, cfg DependentConfig) (*Stream, error) {
+	if cfg.Independent < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 independent source, got %d", cfg.Independent)
+	}
+	if cfg.Copiers < 0 {
+		return nil, fmt.Errorf("sim: negative copier count %d", cfg.Copiers)
+	}
+	if cfg.SourceSize <= 0 {
+		return nil, fmt.Errorf("sim: SourceSize = %d must be positive", cfg.SourceSize)
+	}
+	frac := cfg.CopyFraction
+	if frac == 0 {
+		frac = 1
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("sim: CopyFraction = %g outside (0, 1]", frac)
+	}
+
+	// Independent sources.
+	perSource := make([][]freqstats.Observation, 0, cfg.Independent+cfg.Copiers)
+	for j := 0; j < cfg.Independent; j++ {
+		obs, err := g.SampleSource(rng, fmt.Sprintf("source-%03d", j), cfg.SourceSize)
+		if err != nil {
+			return nil, err
+		}
+		perSource = append(perSource, obs)
+	}
+	// Copiers replicate a random earlier source (independent or copier —
+	// copy chains happen on the real web too).
+	for j := 0; j < cfg.Copiers; j++ {
+		victim := perSource[rng.Intn(len(perSource))]
+		k := int(float64(len(victim))*frac + 0.5)
+		if k < 1 && len(victim) > 0 {
+			k = 1
+		}
+		name := fmt.Sprintf("copier-%03d", j)
+		copied := make([]freqstats.Observation, 0, k)
+		// Copy a prefix of the victim's (already sampled) items: mirrors
+		// typically replicate the head of a listing.
+		for _, o := range victim[:min(k, len(victim))] {
+			copied = append(copied, freqstats.Observation{EntityID: o.EntityID, Value: o.Value, Source: name})
+		}
+		perSource = append(perSource, copied)
+	}
+
+	var all []freqstats.Observation
+	for _, obs := range perSource {
+		all = append(all, obs...)
+	}
+	if cfg.Interleave {
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	}
+	return &Stream{Observations: all}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestIntegrateDependentValidation(t *testing.T) {
+	g := mustTruth(t, Config{N: 20}, 1)
+	rng := randx.New(1)
+	if _, err := IntegrateDependent(rng, g, DependentConfig{Independent: 0, SourceSize: 5}); err == nil {
+		t.Error("zero independent sources not reported")
+	}
+	if _, err := IntegrateDependent(rng, g, DependentConfig{Independent: 1, Copiers: -1, SourceSize: 5}); err == nil {
+		t.Error("negative copiers not reported")
+	}
+	if _, err := IntegrateDependent(rng, g, DependentConfig{Independent: 1, SourceSize: 0}); err == nil {
+		t.Error("zero source size not reported")
+	}
+	if _, err := IntegrateDependent(rng, g, DependentConfig{Independent: 1, SourceSize: 5, CopyFraction: 2}); err == nil {
+		t.Error("bad copy fraction not reported")
+	}
+}
+
+func TestIntegrateDependentCopiersReplicate(t *testing.T) {
+	g := mustTruth(t, Config{N: 50, Lambda: 1, Rho: 1}, 2)
+	st, err := IntegrateDependent(randx.New(3), g, DependentConfig{
+		Independent: 1, Copiers: 3, SourceSize: 20, CopyFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 independent source of 20 + 3 full copies = 80 observations.
+	if st.Len() != 80 {
+		t.Fatalf("stream len = %d, want 80", st.Len())
+	}
+	s, err := st.Prefix(st.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copies add no new entities: c == 20, every entity seen 4 times.
+	if s.C() != 20 {
+		t.Errorf("c = %d, want 20", s.C())
+	}
+	if s.F(4) != 20 {
+		t.Errorf("f4 = %d, want 20 (every entity copied 3 times)", s.F(4))
+	}
+	// Copier source names present.
+	sawCopier := false
+	for _, o := range st.Observations {
+		if strings.HasPrefix(o.Source, "copier-") {
+			sawCopier = true
+			break
+		}
+	}
+	if !sawCopier {
+		t.Error("no copier sources in stream")
+	}
+}
+
+func TestIntegrateDependentPartialCopies(t *testing.T) {
+	g := mustTruth(t, Config{N: 50, Lambda: 1, Rho: 1}, 4)
+	st, err := IntegrateDependent(randx.New(5), g, DependentConfig{
+		Independent: 2, Copiers: 2, SourceSize: 20, CopyFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2*20 + 2*10 = 60.
+	if st.Len() != 60 {
+		t.Fatalf("stream len = %d, want 60", st.Len())
+	}
+}
+
+// The point of the model: copying sources fake overlap, so coverage looks
+// higher than it is and the estimators under-correct relative to an
+// honest integration of the same size.
+func TestDependenceInflatesCoverage(t *testing.T) {
+	g := mustTruth(t, Config{N: 100, Lambda: 2, Rho: 1}, 6)
+	honest, err := Integrate(randx.New(7), g, IntegrationConfig{
+		NumSources: 10, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := IntegrateDependent(randx.New(7), g, DependentConfig{
+		Independent: 5, Copiers: 5, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := honest.Prefix(honest.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := copied.Prefix(copied.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same |S|; the copied integration has discovered fewer unique items.
+	if sh.N() != sc.N() {
+		t.Fatalf("sample sizes differ: %d vs %d", sh.N(), sc.N())
+	}
+	if sc.C() >= sh.C() {
+		t.Errorf("copied integration found %d uniques, honest %d; copies should slow discovery",
+			sc.C(), sh.C())
+	}
+	// Fewer singletons relative to c: coverage overstated.
+	covH := 1 - float64(sh.F1())/float64(sh.N())
+	covC := 1 - float64(sc.F1())/float64(sc.N())
+	if covC <= covH {
+		t.Errorf("copied coverage %.3f not above honest %.3f", covC, covH)
+	}
+}

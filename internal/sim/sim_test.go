@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/randx"
+)
+
+func mustTruth(t *testing.T, cfg Config, seed int64) *GroundTruth {
+	t.Helper()
+	g, err := NewGroundTruth(randx.New(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroundTruthDefaults(t *testing.T) {
+	g := mustTruth(t, Config{N: 100, Lambda: 0, Rho: 0}, 1)
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Default values are 10..1000; sum = 10 * 100*101/2 = 50500.
+	if got := g.Sum(); got != 50500 {
+		t.Errorf("Sum = %g, want 50500", got)
+	}
+	if got := g.Avg(); got != 505 {
+		t.Errorf("Avg = %g, want 505", got)
+	}
+	if got := g.Min(); got != 10 {
+		t.Errorf("Min = %g, want 10", got)
+	}
+	if got := g.Max(); got != 1000 {
+		t.Errorf("Max = %g, want 1000", got)
+	}
+}
+
+func TestNewGroundTruthValidation(t *testing.T) {
+	rng := randx.New(1)
+	if _, err := NewGroundTruth(rng, Config{N: 0}); err == nil {
+		t.Error("N=0 not reported")
+	}
+	if _, err := NewGroundTruth(rng, Config{N: 3, Values: []float64{1}}); err == nil {
+		t.Error("value/N mismatch not reported")
+	}
+	if _, err := NewGroundTruth(rng, Config{N: 3, Rho: 2}); err == nil {
+		t.Error("invalid rho not reported")
+	}
+}
+
+func TestPerfectCorrelationOrdersValues(t *testing.T) {
+	g := mustTruth(t, Config{N: 50, Lambda: 2, Rho: 1}, 2)
+	// With rho=1 the most publicized item carries the largest value.
+	for i := 1; i < g.N(); i++ {
+		if g.Items[i-1].Publicity > g.Items[i].Publicity &&
+			g.Items[i-1].Value < g.Items[i].Value {
+			t.Fatalf("publicity/value order violated at %d", i)
+		}
+	}
+	top := g.Items[0]
+	for _, it := range g.Items {
+		if it.Publicity > top.Publicity {
+			top = it
+		}
+	}
+	if top.Value != 500 {
+		t.Errorf("most publicized value = %g, want 500 (max of 10..500)", top.Value)
+	}
+}
+
+func TestSampleSourceNoDuplicates(t *testing.T) {
+	g := mustTruth(t, Config{N: 40, Lambda: 1, Rho: 1}, 3)
+	rng := randx.New(4)
+	obs, err := g.SampleSource(rng, "w1", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 25 {
+		t.Fatalf("len = %d", len(obs))
+	}
+	seen := map[string]bool{}
+	for _, o := range obs {
+		if seen[o.EntityID] {
+			t.Fatalf("duplicate entity %s within one source", o.EntityID)
+		}
+		seen[o.EntityID] = true
+		if o.Source != "w1" {
+			t.Fatalf("source = %q", o.Source)
+		}
+	}
+}
+
+func TestSampleSourceEdgeCases(t *testing.T) {
+	g := mustTruth(t, Config{N: 5}, 5)
+	rng := randx.New(5)
+	if _, err := g.SampleSource(rng, "w", -1); err == nil {
+		t.Error("negative size not reported")
+	}
+	obs, err := g.SampleSource(rng, "w", 0)
+	if err != nil || obs != nil {
+		t.Errorf("size 0: %v, %v", obs, err)
+	}
+	// Oversized requests clamp to N.
+	obs, err = g.SampleSource(rng, "w", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 5 {
+		t.Errorf("oversized request returned %d items, want 5", len(obs))
+	}
+}
+
+func TestExhaustiveSource(t *testing.T) {
+	g := mustTruth(t, Config{N: 30, Lambda: 2, Rho: 1}, 6)
+	obs := g.ExhaustiveSource("streaker")
+	if len(obs) != 30 {
+		t.Fatalf("len = %d", len(obs))
+	}
+	// Publicity-descending order.
+	pub := func(id string) float64 {
+		for _, it := range g.Items {
+			if it.ID == id {
+				return it.Publicity
+			}
+		}
+		t.Fatalf("unknown id %s", id)
+		return 0
+	}
+	for i := 1; i < len(obs); i++ {
+		if pub(obs[i-1].EntityID) < pub(obs[i].EntityID) {
+			t.Fatalf("not publicity-descending at %d", i)
+		}
+	}
+}
+
+func TestIntegrateAndPrefix(t *testing.T) {
+	g := mustTruth(t, Config{N: 100, Lambda: 1, Rho: 1}, 7)
+	st, err := Integrate(randx.New(8), g, IntegrationConfig{
+		NumSources: 20, SourceSize: 20, Interleave: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 400 {
+		t.Fatalf("stream len = %d, want 400", st.Len())
+	}
+	s, err := st.Prefix(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 100 {
+		t.Errorf("prefix n = %d", s.N())
+	}
+	if s.C() > 100 || s.C() == 0 {
+		t.Errorf("prefix c = %d", s.C())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Clamping.
+	s, err = st.Prefix(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 400 {
+		t.Errorf("clamped prefix n = %d", s.N())
+	}
+	s, err = st.Prefix(-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 0 {
+		t.Errorf("negative prefix n = %d", s.N())
+	}
+}
+
+func TestIntegrateValidation(t *testing.T) {
+	g := mustTruth(t, Config{N: 10}, 9)
+	if _, err := Integrate(randx.New(1), g, IntegrationConfig{NumSources: 0, SourceSize: 5}); err == nil {
+		t.Error("NumSources=0 not reported")
+	}
+	if _, err := Integrate(randx.New(1), g, IntegrationConfig{NumSources: 2, SourceSize: 0}); err == nil {
+		t.Error("SourceSize=0 not reported")
+	}
+	// Explicit per-source sizes override.
+	st, err := Integrate(randx.New(1), g, IntegrationConfig{SourceSizes: []int{3, 7, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 11 {
+		t.Errorf("stream len = %d, want 11", st.Len())
+	}
+}
+
+func TestReplayIncremental(t *testing.T) {
+	g := mustTruth(t, Config{N: 50, Lambda: 1, Rho: 1}, 10)
+	st, err := Integrate(randx.New(11), g, IntegrationConfig{NumSources: 10, SourceSize: 10, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	err = st.Replay([]int{10, 50, 100}, func(k int, s *freqstats.Sample) error {
+		got = append(got, s.N())
+		return s.CheckInvariants()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 50, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay ns = %v, want %v", got, want)
+		}
+	}
+	// Decreasing sizes rejected.
+	if err := st.Replay([]int{50, 10}, func(int, *freqstats.Sample) error { return nil }); err == nil {
+		t.Error("decreasing replay sizes not reported")
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	if cp := Checkpoints(0, 10); cp != nil {
+		t.Errorf("Checkpoints(0) = %v", cp)
+	}
+	cp := Checkpoints(100, 4)
+	want := []int{25, 50, 75, 100}
+	if len(cp) != 4 {
+		t.Fatalf("cp = %v", cp)
+	}
+	for i := range want {
+		if cp[i] != want[i] {
+			t.Fatalf("cp = %v, want %v", cp, want)
+		}
+	}
+	// Last checkpoint always n; no duplicates when count > n.
+	cp = Checkpoints(3, 10)
+	if cp[len(cp)-1] != 3 {
+		t.Errorf("last checkpoint = %d, want 3", cp[len(cp)-1])
+	}
+	for i := 1; i < len(cp); i++ {
+		if cp[i] <= cp[i-1] {
+			t.Errorf("non-increasing checkpoints: %v", cp)
+		}
+	}
+}
+
+func TestSuccessiveExhaustive(t *testing.T) {
+	g := mustTruth(t, Config{N: 20, Lambda: 1, Rho: 1}, 12)
+	st := SuccessiveExhaustive(g, 3)
+	if st.Len() != 60 {
+		t.Fatalf("len = %d, want 60", st.Len())
+	}
+	// After the first source, everything is known: prefix at 20 has c = 20.
+	s, err := st.Prefix(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 20 {
+		t.Errorf("c after first exhaustive source = %d, want 20", s.C())
+	}
+	// Full stream: every entity seen exactly 3 times.
+	s, err = st.Prefix(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.F(3) != 20 || s.F1() != 0 {
+		t.Errorf("f3 = %d, f1 = %d; want 20, 0", s.F(3), s.F1())
+	}
+}
+
+func TestInjectStreaker(t *testing.T) {
+	g := mustTruth(t, Config{N: 100, Lambda: 1, Rho: 1}, 13)
+	base, err := Integrate(randx.New(14), g, IntegrationConfig{NumSources: 20, SourceSize: 10, Interleave: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := InjectStreaker(base, g, 160, "streaker")
+	if st.Len() != base.Len()+100 {
+		t.Fatalf("len = %d, want %d", st.Len(), base.Len()+100)
+	}
+	// The observation at position 160 comes from the streaker.
+	if st.Observations[160].Source != "streaker" {
+		t.Errorf("obs[160].Source = %q", st.Observations[160].Source)
+	}
+	if st.Observations[159].Source == "streaker" {
+		t.Errorf("streaker started too early")
+	}
+	// After the streaker, the sample is complete.
+	s, err := st.Prefix(260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != 100 {
+		t.Errorf("c after streaker = %d, want 100", s.C())
+	}
+
+	// Clamped positions do not panic.
+	st = InjectStreaker(base, g, -1, "s")
+	if st.Observations[0].Source != "s" {
+		t.Error("clamp at 0 failed")
+	}
+	st = InjectStreaker(base, g, 10_000, "s")
+	if st.Observations[st.Len()-1].Source != "s" {
+		t.Error("clamp at end failed")
+	}
+}
+
+func TestSkewedSamplingFindsHeadFirst(t *testing.T) {
+	// With lambda=4 and rho=1, early samples should be dominated by
+	// high-value items: the observed mean after a few answers should exceed
+	// the true mean.
+	g := mustTruth(t, Config{N: 100, Lambda: 4, Rho: 1}, 15)
+	var diffSum float64
+	const reps = 20
+	for seed := int64(0); seed < reps; seed++ {
+		st, err := Integrate(randx.New(seed), g, IntegrationConfig{NumSources: 10, SourceSize: 10, Interleave: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Prefix(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obsMean := s.SumValues() / float64(s.C())
+		diffSum += obsMean - g.Avg()
+	}
+	if avg := diffSum / reps; avg <= 0 {
+		t.Errorf("mean observed-minus-true = %g, want > 0 under positive correlation", avg)
+	}
+}

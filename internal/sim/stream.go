@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/freqstats"
+)
+
+// Stream is an ordered sequence of observations as they arrive at the
+// integrator (e.g. crowd answers arriving over time). Experiments replay
+// prefixes of a stream to study estimate quality as data accumulates.
+type Stream struct {
+	Observations []freqstats.Observation
+}
+
+// Len returns the number of observations in the stream.
+func (st *Stream) Len() int { return len(st.Observations) }
+
+// Prefix builds a Sample from the first k observations. k is clamped to
+// the stream length.
+func (st *Stream) Prefix(k int) (*freqstats.Sample, error) {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(st.Observations) {
+		k = len(st.Observations)
+	}
+	s := freqstats.NewSample()
+	if err := s.AddAll(st.Observations[:k]); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Replay calls fn for every checkpoint size in sizes with the sample built
+// from that prefix. Sizes must be non-decreasing; the sample is built
+// incrementally so replaying a long stream is O(stream length) total.
+func (st *Stream) Replay(sizes []int, fn func(k int, s *freqstats.Sample) error) error {
+	s := freqstats.NewSample()
+	pos := 0
+	for _, k := range sizes {
+		if k < pos {
+			return fmt.Errorf("sim: replay sizes must be non-decreasing (%d after %d)", k, pos)
+		}
+		if k > len(st.Observations) {
+			k = len(st.Observations)
+		}
+		for ; pos < k; pos++ {
+			if err := s.Add(st.Observations[pos]); err != nil {
+				return err
+			}
+		}
+		if err := fn(k, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoints returns roughly count sizes from step to n (always including
+// n) for use with Replay.
+func Checkpoints(n, count int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if count <= 0 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	out := make([]int, 0, count)
+	for i := 1; i <= count; i++ {
+		k := i * n / count
+		if k == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// IntegrationConfig controls how sources are drawn and interleaved into a
+// stream.
+type IntegrationConfig struct {
+	// NumSources is the number of independent sources l.
+	NumSources int
+	// SourceSize is the number of entities each source samples without
+	// replacement (n_j). If SourceSizes is non-nil it overrides this with
+	// per-source sizes (uneven contributions).
+	SourceSize  int
+	SourceSizes []int
+	// Interleave controls arrival order: if true (the default behaviour of
+	// crowdsourcing), observations from all sources are shuffled together;
+	// if false, sources arrive one after another in full.
+	Interleave bool
+}
+
+// Integrate samples all sources from the ground truth and returns the
+// arrival stream.
+func Integrate(rng *rand.Rand, g *GroundTruth, cfg IntegrationConfig) (*Stream, error) {
+	sizes := cfg.SourceSizes
+	if sizes == nil {
+		if cfg.NumSources <= 0 {
+			return nil, fmt.Errorf("sim: NumSources = %d must be positive", cfg.NumSources)
+		}
+		if cfg.SourceSize <= 0 {
+			return nil, fmt.Errorf("sim: SourceSize = %d must be positive", cfg.SourceSize)
+		}
+		sizes = make([]int, cfg.NumSources)
+		for i := range sizes {
+			sizes[i] = cfg.SourceSize
+		}
+	}
+	var all []freqstats.Observation
+	for j, size := range sizes {
+		obs, err := g.SampleSource(rng, fmt.Sprintf("source-%03d", j), size)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, obs...)
+	}
+	if cfg.Interleave {
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	}
+	return &Stream{Observations: all}, nil
+}
+
+// SuccessiveExhaustive builds the Figure 7(a) scenario: each of count
+// sources successively contributes the complete population (every source a
+// total streaker). Observations arrive source after source.
+func SuccessiveExhaustive(g *GroundTruth, count int) *Stream {
+	var all []freqstats.Observation
+	for j := 0; j < count; j++ {
+		all = append(all, g.ExhaustiveSource(fmt.Sprintf("streaker-%03d", j))...)
+	}
+	return &Stream{Observations: all}
+}
+
+// InjectStreaker returns a new stream equal to st with a streaker source
+// inserted at position at: the streaker contributes every entity of the
+// ground truth consecutively starting at that position (the Figure 7(b)
+// scenario, where a single overly ambitious crowd worker floods the
+// sample).
+func InjectStreaker(st *Stream, g *GroundTruth, at int, name string) *Stream {
+	if at < 0 {
+		at = 0
+	}
+	if at > len(st.Observations) {
+		at = len(st.Observations)
+	}
+	streak := g.ExhaustiveSource(name)
+	out := make([]freqstats.Observation, 0, len(st.Observations)+len(streak))
+	out = append(out, st.Observations[:at]...)
+	out = append(out, streak...)
+	out = append(out, st.Observations[at:]...)
+	return &Stream{Observations: out}
+}

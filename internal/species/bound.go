@@ -1,0 +1,62 @@
+package species
+
+import (
+	"math"
+
+	"repro/internal/freqstats"
+)
+
+// DefaultBoundEpsilon is the confidence parameter used by the paper for the
+// Good-Turing missing-mass bound: epsilon = 0.01 gives a bound that holds
+// with probability at least 99% over the choice of the sample (Section 4).
+const DefaultBoundEpsilon = 0.01
+
+// goodTuringConstant is the 2*sqrt(2) + sqrt(3) constant from the
+// McAllester-Schapire convergence bound (equation 16).
+var goodTuringConstant = 2*math.Sqrt2 + math.Sqrt(3)
+
+// MissingMassBound returns the high-probability upper bound on the true
+// missing probability mass M0 of the unknown unknowns (equation 16):
+//
+//	M0 <= f1/n + (2*sqrt(2) + sqrt(3)) * sqrt(ln(3/epsilon) / n)
+//
+// The bound holds with probability at least 1-epsilon. The result is
+// clamped to [0, 1] only from below; values >= 1 mean the sample is still
+// too small for the bound to be informative (the second return is false in
+// that case, as well as for an empty sample or epsilon outside (0, 1)).
+//
+// Note: the paper's equation 16 prints the deviation term inconsistently
+// ("log 3/" and later "log log 3/delta"); we implement the McAllester-
+// Schapire form sqrt(ln(3/epsilon)/n), which is the bound the paper cites.
+func MissingMassBound(s *freqstats.Sample, epsilon float64) (float64, bool) {
+	n := s.N()
+	if n == 0 || epsilon <= 0 || epsilon >= 1 {
+		return 0, false
+	}
+	m0 := float64(s.F1())/float64(n) + goodTuringConstant*math.Sqrt(math.Log(3/epsilon)/float64(n))
+	if m0 < 0 {
+		m0 = 0
+	}
+	return m0, m0 < 1
+}
+
+// NUpperBound returns the high-probability upper bound on the number of
+// unique entities implied by the missing-mass bound (equation 17):
+//
+//	N-hat <= c / (1 - M0bound)
+//
+// The CV correction is omitted, as the paper argues it only accelerates
+// convergence without changing the asymptotic coverage-based estimate. The
+// second return is false when the bound is uninformative (M0bound >= 1),
+// in which case the caller should report "no finite bound yet".
+func NUpperBound(s *freqstats.Sample, epsilon float64) (float64, bool) {
+	m0, ok := MissingMassBound(s, epsilon)
+	if !ok {
+		return math.Inf(1), false
+	}
+	c := float64(s.C())
+	if c == 0 {
+		return 0, false
+	}
+	return c / (1 - m0), true
+}

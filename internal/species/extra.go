@@ -1,0 +1,132 @@
+package species
+
+import (
+	"repro/internal/freqstats"
+)
+
+// ACERareThreshold is the abundance cutoff of the ACE estimator: species
+// observed at most this many times count as "rare" and drive the coverage
+// estimate (Chao & Lee's recommended value).
+const ACERareThreshold = 10
+
+// ACE computes the abundance-based coverage estimator (Chao & Lee 1992,
+// the companion to Chao92 used widely in ecology):
+//
+//	N-hat = c_abund + c_rare/C_rare + f1/C_rare * gamma_rare^2
+//
+// where only the rare species (counts <= ACERareThreshold) inform the
+// coverage C_rare = 1 - f1/n_rare and the CV correction. ACE is provided
+// as an ablation baseline: on the paper's workloads it behaves like Chao92
+// except under extreme abundance skew, where limiting the CV estimate to
+// the rare group stabilizes it.
+func ACE(s *freqstats.Sample) Estimate {
+	n := s.N()
+	c := s.C()
+	if n == 0 || c == 0 {
+		return Estimate{}
+	}
+	cov, _ := Coverage(s)
+
+	var cRare, cAbund, nRare int
+	var sumII float64 // sum over rare i of i(i-1) f_i
+	for j, f := range s.FStatistics() {
+		if j <= ACERareThreshold {
+			cRare += f
+			nRare += j * f
+			sumII += float64(j) * float64(j-1) * float64(f)
+		} else {
+			cAbund += f
+		}
+	}
+	est := Estimate{Coverage: cov, Valid: true, LowCoverage: cov < MinReliableCoverage}
+	if cRare == 0 {
+		// Everything is abundant: the sample is effectively complete.
+		est.N = float64(c)
+		return est
+	}
+	f1 := s.F1()
+	if nRare == 0 || f1 == nRare {
+		// All rare species are singletons: rare-group coverage is zero.
+		est.Diverged = true
+		est.LowCoverage = true
+		est.N = Jackknife1(s).N
+		return est
+	}
+	cRareCov := 1 - float64(f1)/float64(nRare)
+	var gamma2 float64
+	if nRare > 1 {
+		gamma2 = float64(cRare)/cRareCov*sumII/(float64(nRare)*float64(nRare-1)) - 1
+		if gamma2 < 0 {
+			gamma2 = 0
+		}
+	}
+	est.N = float64(cAbund) + float64(cRare)/cRareCov + float64(f1)/cRareCov*gamma2
+	if est.N < float64(c) {
+		est.N = float64(c)
+	}
+	return est
+}
+
+// Jackknife2 computes the second-order jackknife estimator
+// (Burnham & Overton):
+//
+//	N-hat = c + f1*(2n-3)/n - f2*(n-2)^2/(n(n-1))
+//
+// It reduces bias relative to Jackknife1 at the cost of higher variance.
+// Requires n >= 2; smaller samples fall back to Jackknife1.
+func Jackknife2(s *freqstats.Sample) Estimate {
+	n := s.N()
+	c := s.C()
+	if n == 0 || c == 0 {
+		return Estimate{}
+	}
+	if n < 2 {
+		return Jackknife1(s)
+	}
+	cov, _ := Coverage(s)
+	nf := float64(n)
+	nHat := float64(c) +
+		float64(s.F1())*(2*nf-3)/nf -
+		float64(s.F2())*(nf-2)*(nf-2)/(nf*(nf-1))
+	if nHat < float64(c) {
+		// The f2 correction can push the estimate below the observed
+		// count on tiny samples; clamp as every estimator here does.
+		nHat = float64(c)
+	}
+	return Estimate{
+		N:           nHat,
+		Coverage:    cov,
+		Valid:       true,
+		LowCoverage: cov < MinReliableCoverage,
+	}
+}
+
+// EstimatorFunc is a species estimator as a function value, for ablation
+// sweeps over interchangeable count models.
+type EstimatorFunc func(*freqstats.Sample) Estimate
+
+// ByName returns the named species estimator. Supported names: chao92,
+// chao84, good-turing, jackknife1, jackknife2, ace.
+func ByName(name string) (EstimatorFunc, bool) {
+	switch name {
+	case "chao92":
+		return Chao92, true
+	case "chao84":
+		return Chao84, true
+	case "good-turing":
+		return GoodTuring, true
+	case "jackknife1":
+		return Jackknife1, true
+	case "jackknife2":
+		return Jackknife2, true
+	case "ace":
+		return ACE, true
+	default:
+		return nil, false
+	}
+}
+
+// Names lists the estimators available through ByName, in a stable order.
+func Names() []string {
+	return []string{"chao92", "chao84", "good-turing", "jackknife1", "jackknife2", "ace"}
+}

@@ -1,0 +1,135 @@
+package species
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/freqstats"
+)
+
+func TestACEBasics(t *testing.T) {
+	if est := ACE(freqstats.NewSample()); est.Valid {
+		t.Error("empty sample valid")
+	}
+
+	// All abundant (counts > threshold): N-hat == c.
+	s := buildSample(t, []int{12, 15, 20}, nil)
+	est := ACE(s)
+	if !est.Valid || est.N != 3 {
+		t.Errorf("all-abundant ACE = %g (%+v), want 3", est.N, est)
+	}
+
+	// Pure singletons: diverged with finite fallback.
+	s = buildSample(t, []int{1, 1, 1}, nil)
+	est = ACE(s)
+	if !est.Diverged {
+		t.Error("pure singletons not flagged")
+	}
+	if math.IsInf(est.N, 0) || math.IsNaN(est.N) {
+		t.Errorf("fallback not finite: %g", est.N)
+	}
+}
+
+func TestACEMatchesChao92OnRareOnlySamples(t *testing.T) {
+	// When every species is rare (counts <= 10) and gamma^2 clamps to 0,
+	// ACE's rare-group coverage equals the global coverage, so
+	// N-hat_ACE == c/C-hat == N-hat_GoodTuring.
+	s := buildSample(t, []int{2, 2, 1, 3, 2}, nil)
+	ace := ACE(s)
+	gt := GoodTuring(s)
+	if math.Abs(ace.N-gt.N) > 1e-9 {
+		t.Errorf("ACE %g != GoodTuring %g on rare-only sample", ace.N, gt.N)
+	}
+}
+
+func TestACEMixedAbundance(t *testing.T) {
+	// One abundant species (20 observations) plus rare ones. The abundant
+	// species must not inflate the rare-group coverage statistics.
+	s := buildSample(t, []int{20, 1, 1, 2, 2}, nil)
+	est := ACE(s)
+	if !est.Valid || est.Diverged {
+		t.Fatalf("flags: %+v", est)
+	}
+	// c_abund=1, c_rare=4, n_rare=6, f1=2 => C_rare = 1 - 2/6 = 2/3.
+	// gamma^2 rare: (4/(2/3)) * (2*1*2)/(6*5) - 1 = 6*4/30-1 < 0 => 0.
+	want := 1 + 4/(2.0/3.0)
+	if math.Abs(est.N-want) > 1e-9 {
+		t.Errorf("ACE = %g, want %g", est.N, want)
+	}
+}
+
+func TestJackknife2(t *testing.T) {
+	if est := Jackknife2(freqstats.NewSample()); est.Valid {
+		t.Error("empty sample valid")
+	}
+	// n=1 falls back to Jackknife1.
+	s := buildSample(t, []int{1}, nil)
+	if got, want := Jackknife2(s).N, Jackknife1(s).N; got != want {
+		t.Errorf("n=1 fallback: %g != %g", got, want)
+	}
+	// Hand-computed: counts {1,1,2}: n=4, c=3, f1=2, f2=1.
+	// N = 3 + 2*(8-3)/4 - 1*(2^2)/(4*3) = 3 + 2.5 - 0.3333 = 5.1667.
+	s = buildSample(t, []int{1, 1, 2}, nil)
+	want := 3 + 2*(2*4.0-3)/4 - (4.0-2)*(4.0-2)/(4*3)
+	if got := Jackknife2(s).N; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Jackknife2 = %g, want %g", got, want)
+	}
+}
+
+func TestJackknife2ReducesBiasVsJackknife1(t *testing.T) {
+	// With many singletons, Jackknife2 > Jackknife1 (stronger correction).
+	s := buildSample(t, []int{1, 1, 1, 1, 2, 2, 3}, nil)
+	j1 := Jackknife1(s).N
+	j2 := Jackknife2(s).N
+	if j2 <= j1 {
+		t.Errorf("Jackknife2 %g <= Jackknife1 %g on singleton-rich sample", j2, j1)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		f, ok := ByName(name)
+		if !ok || f == nil {
+			t.Errorf("estimator %q not resolvable", name)
+			continue
+		}
+		s := buildSample(t, []int{2, 1, 4}, nil)
+		est := f(s)
+		if !est.Valid {
+			t.Errorf("%s: invalid on a healthy sample", name)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("bogus estimator resolved")
+	}
+}
+
+// Property: the extra estimators also never go below c and stay finite.
+func TestExtraEstimatorsFloorProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := freqstats.NewSample()
+		for i, r := range raw {
+			cnt := int(r%15) + 1
+			for k := 0; k < cnt; k++ {
+				_ = s.Add(freqstats.Observation{
+					EntityID: fmt.Sprintf("e%d", i), Value: float64(i), Source: "s",
+				})
+			}
+		}
+		c := float64(s.C())
+		for _, est := range []Estimate{ACE(s), Jackknife2(s)} {
+			if !est.Valid || est.N < c-1e-9 || math.IsNaN(est.N) || math.IsInf(est.N, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

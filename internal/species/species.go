@@ -1,0 +1,184 @@
+// Package species implements the species-richness estimators the paper
+// builds on: Good-Turing sample coverage, the Chao92 coverage-based
+// estimator with its coefficient-of-variation correction (the workhorse of
+// all unknown-unknowns estimators), the simpler Chao84 and first-order
+// jackknife estimators used as baselines, and the McAllester-Schapire
+// convergence bound on the Good-Turing missing-mass estimate that powers
+// the paper's estimation-error upper bound (Section 4).
+//
+// All estimators consume a *freqstats.Sample. They are deliberately
+// tolerant of degenerate inputs: instead of returning errors or infinities
+// mid-formula they report the degeneracy through the Estimate's Valid and
+// Diverged flags, matching the numerical edge-case policy in DESIGN.md.
+package species
+
+import (
+	"repro/internal/freqstats"
+)
+
+// Estimate is the result of a species-richness estimation.
+type Estimate struct {
+	// N is the estimated number of unique entities in the ground truth.
+	N float64
+	// Coverage is the Good-Turing sample coverage estimate C-hat = 1 - f1/n.
+	Coverage float64
+	// CV2 is the squared coefficient of variation gamma^2 (equation 6),
+	// zero for coverage-only estimators.
+	CV2 float64
+	// Valid is false when the sample was too small to estimate anything
+	// (n == 0 or c == 0); N is then 0.
+	Valid bool
+	// Diverged is true when the estimator's denominator vanished (every
+	// observation a singleton: f1 == n, i.e. zero estimated coverage).
+	// N then holds a fallback (see Chao92 for the policy) rather than +Inf.
+	Diverged bool
+	// LowCoverage is true when coverage is below MinReliableCoverage; the
+	// paper recommends not trusting estimates in this regime (Section 6.5).
+	LowCoverage bool
+}
+
+// MinReliableCoverage is the sample-coverage threshold below which Chao92
+// estimates are flagged as unreliable. Chao & Lee report results only for
+// coverage >= 0.395; the paper rounds this guidance to 40% (Section 6.5).
+const MinReliableCoverage = 0.4
+
+// Coverage returns the Good-Turing sample coverage estimate
+// C-hat = 1 - f1/n (equation 4) and false if the sample is empty.
+func Coverage(s *freqstats.Sample) (float64, bool) {
+	n := s.N()
+	if n == 0 {
+		return 0, false
+	}
+	return 1 - float64(s.F1())/float64(n), true
+}
+
+// CV2 returns the estimated squared coefficient of variation of the
+// publicity distribution (equation 6):
+//
+//	gamma^2 = max{ (c/C-hat) * sum_i i(i-1) f_i / (n(n-1)) - 1, 0 }
+//
+// The second return is false when the statistic is undefined (n < 2 or
+// zero estimated coverage).
+func CV2(s *freqstats.Sample) (float64, bool) {
+	n := s.N()
+	c := s.C()
+	if n < 2 || c == 0 {
+		return 0, false
+	}
+	cov, _ := Coverage(s)
+	if cov <= 0 {
+		return 0, false
+	}
+	var sum float64
+	for j, f := range s.FStatistics() {
+		sum += float64(j) * float64(j-1) * float64(f)
+	}
+	g := float64(c)/cov*sum/(float64(n)*float64(n-1)) - 1
+	if g < 0 {
+		g = 0
+	}
+	return g, true
+}
+
+// Chao92 computes the Chao92 estimator (equation 7):
+//
+//	N-hat = c/C-hat + n(1 - C-hat)/C-hat * gamma^2
+//
+// Degenerate cases follow the DESIGN.md policy: an empty sample yields
+// Valid == false; a sample of pure singletons (C-hat == 0) yields
+// Diverged == true with N falling back to the first-order jackknife
+// c + f1*(n-1)/n, a finite lower-bound-style estimate that lets callers
+// keep operating (for example the bucket estimator's split search, which
+// must compare candidate splits that may contain singleton-only buckets).
+func Chao92(s *freqstats.Sample) Estimate {
+	n := s.N()
+	c := s.C()
+	if n == 0 || c == 0 {
+		return Estimate{}
+	}
+	cov, _ := Coverage(s)
+	est := Estimate{Coverage: cov, Valid: true}
+	if cov <= 0 {
+		est.Diverged = true
+		est.LowCoverage = true
+		est.N = Jackknife1(s).N
+		return est
+	}
+	cv2, _ := CV2(s)
+	est.CV2 = cv2
+	est.N = float64(c)/cov + float64(n)*(1-cov)/cov*cv2
+	if est.N < float64(c) {
+		// The estimator never predicts fewer entities than observed.
+		est.N = float64(c)
+	}
+	est.LowCoverage = cov < MinReliableCoverage
+	return est
+}
+
+// Chao84 computes Chao's 1984 lower-bound estimator N-hat = c + f1^2/(2 f2).
+// When f2 == 0 the bias-corrected form c + f1(f1-1)/2 is used.
+func Chao84(s *freqstats.Sample) Estimate {
+	n := s.N()
+	c := s.C()
+	if n == 0 || c == 0 {
+		return Estimate{}
+	}
+	cov, _ := Coverage(s)
+	f1 := float64(s.F1())
+	f2 := float64(s.F2())
+	var nHat float64
+	if f2 > 0 {
+		nHat = float64(c) + f1*f1/(2*f2)
+	} else {
+		nHat = float64(c) + f1*(f1-1)/2
+	}
+	return Estimate{
+		N:           nHat,
+		Coverage:    cov,
+		Valid:       true,
+		LowCoverage: cov < MinReliableCoverage,
+	}
+}
+
+// Jackknife1 computes the first-order jackknife estimator
+// N-hat = c + f1 * (n-1)/n (Burnham & Overton).
+func Jackknife1(s *freqstats.Sample) Estimate {
+	n := s.N()
+	c := s.C()
+	if n == 0 || c == 0 {
+		return Estimate{}
+	}
+	cov, _ := Coverage(s)
+	nHat := float64(c) + float64(s.F1())*float64(n-1)/float64(n)
+	return Estimate{
+		N:           nHat,
+		Coverage:    cov,
+		Valid:       true,
+		LowCoverage: cov < MinReliableCoverage,
+	}
+}
+
+// GoodTuring computes the coverage-only estimator N-hat = c / C-hat,
+// i.e. Chao92 with gamma^2 forced to zero (the simplification behind the
+// paper's equation 10). The same degenerate-input policy as Chao92 applies.
+func GoodTuring(s *freqstats.Sample) Estimate {
+	n := s.N()
+	c := s.C()
+	if n == 0 || c == 0 {
+		return Estimate{}
+	}
+	cov, _ := Coverage(s)
+	est := Estimate{Coverage: cov, Valid: true}
+	if cov <= 0 {
+		est.Diverged = true
+		est.LowCoverage = true
+		est.N = Jackknife1(s).N
+		return est
+	}
+	est.N = float64(c) / cov
+	if est.N < float64(c) {
+		est.N = float64(c)
+	}
+	est.LowCoverage = cov < MinReliableCoverage
+	return est
+}

@@ -1,0 +1,333 @@
+package species
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/freqstats"
+)
+
+// buildSample constructs a sample where entity i is observed counts[i]
+// times with value values[i] (values optional).
+func buildSample(t *testing.T, counts []int, values []float64) *freqstats.Sample {
+	t.Helper()
+	s := freqstats.NewSample()
+	for i, cnt := range counts {
+		v := float64(i)
+		if values != nil {
+			v = values[i]
+		}
+		for k := 0; k < cnt; k++ {
+			if err := s.Add(freqstats.Observation{
+				EntityID: fmt.Sprintf("e%d", i),
+				Value:    v,
+				Source:   fmt.Sprintf("s%d", k),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestCoverage(t *testing.T) {
+	tests := []struct {
+		name   string
+		counts []int
+		want   float64
+		ok     bool
+	}{
+		{"empty", nil, 0, false},
+		{"all singletons", []int{1, 1, 1}, 0, true},
+		{"no singletons", []int{2, 3}, 1, true},
+		{"toy example", []int{2, 1, 4}, 1 - 1.0/7.0, true}, // n=7, f1=1
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := buildSample(t, tt.counts, nil)
+			got, ok := Coverage(s)
+			if ok != tt.ok {
+				t.Fatalf("ok = %v, want %v", ok, tt.ok)
+			}
+			if ok && math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("coverage = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCV2ToyExample(t *testing.T) {
+	// Appendix F, before s5: counts A=2, B=1, D=4 -> n=7, c=3, f1=1.
+	// C-hat = 6/7. sum i(i-1)f_i = 2*1*1 + 4*3*1 = 14.
+	// gamma^2 = (3/(6/7)) * 14/(7*6) - 1 = 3.5/3 - 1 = 1/6 ~ 0.1667.
+	s := buildSample(t, []int{2, 1, 4}, nil)
+	got, ok := CV2(s)
+	if !ok {
+		t.Fatal("CV2 not defined")
+	}
+	if math.Abs(got-1.0/6.0) > 1e-12 {
+		t.Errorf("gamma^2 = %g, want %g", got, 1.0/6.0)
+	}
+}
+
+func TestCV2ClampedAtZero(t *testing.T) {
+	// A uniform-ish sample can push the raw statistic negative; it must
+	// clamp to zero. With all doubletons: sum i(i-1)f_i = 2c, C-hat = 1,
+	// raw = c*2c/(2c*(2c-1)) - 1 = c/(2c-1) - 1 < 0.
+	s := buildSample(t, []int{2, 2, 2, 2}, nil)
+	got, ok := CV2(s)
+	if !ok || got != 0 {
+		t.Errorf("gamma^2 = %g, ok=%v; want 0, true", got, ok)
+	}
+}
+
+func TestCV2Undefined(t *testing.T) {
+	if _, ok := CV2(freqstats.NewSample()); ok {
+		t.Error("CV2 on empty sample reported ok")
+	}
+	s := buildSample(t, []int{1}, nil) // n = 1
+	if _, ok := CV2(s); ok {
+		t.Error("CV2 with n=1 reported ok")
+	}
+	s = buildSample(t, []int{1, 1}, nil) // coverage 0
+	if _, ok := CV2(s); ok {
+		t.Error("CV2 with zero coverage reported ok")
+	}
+}
+
+func TestChao92ToyExample(t *testing.T) {
+	// Before s5: n=7, c=3, f1=1, gamma^2 = 1/6.
+	// N-hat = c/C + n(1-C)/C * g2 = 3/(6/7) + 7*(1/7)/(6/7) * 1/6
+	//       = 3.5 + (7/6)*(1/6) = 3.5 + 0.19444 = 3.69444...
+	s := buildSample(t, []int{2, 1, 4}, nil)
+	est := Chao92(s)
+	if !est.Valid || est.Diverged {
+		t.Fatalf("estimate flags: %+v", est)
+	}
+	want := 3.5 + (7.0/6.0)*(1.0/6.0)
+	if math.Abs(est.N-want) > 1e-12 {
+		t.Errorf("N-hat = %g, want %g", est.N, want)
+	}
+	if est.LowCoverage {
+		t.Error("coverage 6/7 flagged as low")
+	}
+}
+
+func TestChao92Degenerate(t *testing.T) {
+	est := Chao92(freqstats.NewSample())
+	if est.Valid {
+		t.Error("empty sample produced a valid estimate")
+	}
+
+	// All singletons: diverged, fallback is jackknife.
+	s := buildSample(t, []int{1, 1, 1}, nil)
+	est = Chao92(s)
+	if !est.Valid || !est.Diverged || !est.LowCoverage {
+		t.Errorf("flags = %+v, want valid+diverged+lowcoverage", est)
+	}
+	wantFallback := 3 + 3*(2.0/3.0)
+	if math.Abs(est.N-wantFallback) > 1e-12 {
+		t.Errorf("fallback N = %g, want jackknife %g", est.N, wantFallback)
+	}
+	if math.IsInf(est.N, 0) || math.IsNaN(est.N) {
+		t.Error("diverged estimate is not finite")
+	}
+}
+
+func TestChao92CompleteSample(t *testing.T) {
+	// Every entity seen many times: N-hat == c.
+	s := buildSample(t, []int{5, 5, 5, 5}, nil)
+	est := Chao92(s)
+	if !est.Valid || est.N != 4 {
+		t.Errorf("N-hat = %g (%+v), want 4", est.N, est)
+	}
+	if est.Coverage != 1 {
+		t.Errorf("coverage = %g, want 1", est.Coverage)
+	}
+}
+
+func TestChao84(t *testing.T) {
+	// f1=2, f2=1, c=3: N = 3 + 4/2 = 5.
+	s := buildSample(t, []int{1, 1, 2}, nil)
+	est := Chao84(s)
+	if !est.Valid || math.Abs(est.N-5) > 1e-12 {
+		t.Errorf("Chao84 = %g, want 5", est.N)
+	}
+	// f2=0 uses bias-corrected form: c + f1(f1-1)/2 = 2 + 1 = 3.
+	s = buildSample(t, []int{1, 1}, nil)
+	est = Chao84(s)
+	if math.Abs(est.N-3) > 1e-12 {
+		t.Errorf("Chao84 bias-corrected = %g, want 3", est.N)
+	}
+	if est := Chao84(freqstats.NewSample()); est.Valid {
+		t.Error("Chao84 on empty sample valid")
+	}
+}
+
+func TestJackknife1(t *testing.T) {
+	// c=3, f1=2, n=4: N = 3 + 2*3/4 = 4.5.
+	s := buildSample(t, []int{1, 1, 2}, nil)
+	est := Jackknife1(s)
+	if !est.Valid || math.Abs(est.N-4.5) > 1e-12 {
+		t.Errorf("Jackknife1 = %g, want 4.5", est.N)
+	}
+	if est := Jackknife1(freqstats.NewSample()); est.Valid {
+		t.Error("Jackknife1 on empty sample valid")
+	}
+}
+
+func TestGoodTuring(t *testing.T) {
+	// n=7, f1=1 -> coverage 6/7; c=3 -> N = 3.5.
+	s := buildSample(t, []int{2, 1, 4}, nil)
+	est := GoodTuring(s)
+	if !est.Valid || math.Abs(est.N-3.5) > 1e-12 {
+		t.Errorf("GoodTuring = %g, want 3.5", est.N)
+	}
+	// Pure singletons diverge with jackknife fallback.
+	s = buildSample(t, []int{1, 1}, nil)
+	est = GoodTuring(s)
+	if !est.Diverged {
+		t.Error("pure singletons did not diverge")
+	}
+}
+
+// Property: N-hat >= c for every estimator on every sample.
+func TestEstimatorsNeverBelowObserved(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, 0, len(raw))
+		for _, r := range raw {
+			counts = append(counts, int(r%6)+1)
+		}
+		s := freqstats.NewSample()
+		for i, cnt := range counts {
+			for k := 0; k < cnt; k++ {
+				_ = s.Add(freqstats.Observation{
+					EntityID: fmt.Sprintf("e%d", i), Value: float64(i), Source: "s",
+				})
+			}
+		}
+		c := float64(s.C())
+		for _, est := range []Estimate{Chao92(s), Chao84(s), Jackknife1(s), GoodTuring(s)} {
+			if !est.Valid {
+				return false
+			}
+			if est.N < c-1e-9 {
+				return false
+			}
+			if math.IsNaN(est.N) || math.IsInf(est.N, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coverage is always within [0, 1].
+func TestCoverageRangeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := freqstats.NewSample()
+		for i, r := range raw {
+			_ = s.Add(freqstats.Observation{
+				EntityID: fmt.Sprintf("e%d", r%10), Value: float64(r % 10), Source: fmt.Sprintf("s%d", i%3),
+			})
+		}
+		cov, ok := Coverage(s)
+		if !ok {
+			return len(raw) == 0
+		}
+		return cov >= 0 && cov <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissingMassBound(t *testing.T) {
+	if _, ok := MissingMassBound(freqstats.NewSample(), 0.01); ok {
+		t.Error("bound on empty sample reported informative")
+	}
+	s := buildSample(t, []int{2, 1, 4}, nil)
+	if _, ok := MissingMassBound(s, 0); ok {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, ok := MissingMassBound(s, 1); ok {
+		t.Error("epsilon=1 accepted")
+	}
+
+	// Small n: bound is uninformative (>= 1).
+	m0, ok := MissingMassBound(s, 0.01)
+	if ok {
+		t.Errorf("n=7 bound should be uninformative, got %g", m0)
+	}
+
+	// Large n with few singletons: informative and above f1/n.
+	big := freqstats.NewSample()
+	for i := 0; i < 500; i++ {
+		for k := 0; k < 4; k++ {
+			_ = big.Add(freqstats.Observation{EntityID: fmt.Sprintf("e%d", i), Value: 1, Source: "s"})
+		}
+	}
+	for i := 500; i < 510; i++ {
+		_ = big.Add(freqstats.Observation{EntityID: fmt.Sprintf("e%d", i), Value: 1, Source: "s"})
+	}
+	m0, ok = MissingMassBound(big, 0.01)
+	if !ok {
+		t.Fatal("large-sample bound uninformative")
+	}
+	f1OverN := 10.0 / float64(big.N())
+	if m0 <= f1OverN {
+		t.Errorf("bound %g not above f1/n = %g", m0, f1OverN)
+	}
+	if m0 >= 1 {
+		t.Errorf("bound %g not informative", m0)
+	}
+}
+
+func TestNUpperBound(t *testing.T) {
+	big := freqstats.NewSample()
+	for i := 0; i < 1000; i++ {
+		for k := 0; k < 5; k++ {
+			_ = big.Add(freqstats.Observation{EntityID: fmt.Sprintf("e%d", i), Value: 1, Source: "s"})
+		}
+	}
+	nb, ok := NUpperBound(big, 0.01)
+	if !ok {
+		t.Fatal("bound uninformative on a well-covered sample")
+	}
+	if nb < float64(big.C()) {
+		t.Errorf("upper bound %g below observed c %d", nb, big.C())
+	}
+	chao := Chao92(big)
+	if nb < chao.N {
+		t.Errorf("upper bound %g below Chao92 %g", nb, chao.N)
+	}
+
+	if _, ok := NUpperBound(freqstats.NewSample(), 0.01); ok {
+		t.Error("bound on empty sample reported ok")
+	}
+}
+
+// Property: the bound shrinks with sample size (more data, tighter bound).
+func TestMissingMassBoundMonotoneInN(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{100, 400, 1600, 6400} {
+		s := freqstats.NewSample()
+		for i := 0; i < n/2; i++ {
+			_ = s.Add(freqstats.Observation{EntityID: fmt.Sprintf("e%d", i), Value: 1, Source: "s"})
+			_ = s.Add(freqstats.Observation{EntityID: fmt.Sprintf("e%d", i), Value: 1, Source: "s"})
+		}
+		m0, _ := MissingMassBound(s, 0.01)
+		if m0 >= prev {
+			t.Errorf("bound not shrinking: n=%d gives %g (prev %g)", n, m0, prev)
+		}
+		prev = m0
+	}
+}

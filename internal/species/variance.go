@@ -1,0 +1,77 @@
+package species
+
+import (
+	"math"
+
+	"repro/internal/freqstats"
+)
+
+// Chao84Variance returns the analytic variance estimate of the Chao84
+// richness estimator (Chao 1987):
+//
+//	var(N-hat) = f2 * ( (f1/f2)^4/4 + (f1/f2)^3 + (f1/f2)^2/2 )
+//
+// For f2 == 0 the bias-corrected form's variance is used:
+//
+//	var(N-hat) = f1*(f1-1)/2 + f1*(2f1-1)^2/4 - f1^4/(4*N-hat)
+//
+// The second return is false when no variance is defined (empty sample).
+func Chao84Variance(s *freqstats.Sample) (float64, bool) {
+	if s.N() == 0 || s.C() == 0 {
+		return 0, false
+	}
+	f1 := float64(s.F1())
+	f2 := float64(s.F2())
+	if f2 > 0 {
+		r := f1 / f2
+		v := f2 * (r*r*r*r/4 + r*r*r + r*r/2)
+		return v, true
+	}
+	if f1 == 0 {
+		return 0, true // complete sample: no uncertainty from this model
+	}
+	nHat := Chao84(s).N
+	v := f1*(f1-1)/2 + f1*(2*f1-1)*(2*f1-1)/4 - f1*f1*f1*f1/(4*nHat)
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}
+
+// CountInterval is a log-normal confidence interval for a species-count
+// estimate (Chao 1987's recommended construction, which keeps the lower
+// bound above the observed count c):
+//
+//	T = N-hat - c
+//	K = exp(z * sqrt(ln(1 + var/T^2)))
+//	[c + T/K, c + T*K]
+type CountInterval struct {
+	Lo, Hi float64
+	// Point is the Chao84 point estimate the interval brackets.
+	Point float64
+	// Valid is false when the interval is undefined (empty sample).
+	Valid bool
+}
+
+// Chao84Interval computes the log-normal confidence interval at the given
+// z score (1.96 for 95%). When the estimator detects nothing missing
+// (N-hat == c), the interval collapses to [c, c].
+func Chao84Interval(s *freqstats.Sample, z float64) CountInterval {
+	est := Chao84(s)
+	if !est.Valid {
+		return CountInterval{}
+	}
+	c := float64(s.C())
+	v, ok := Chao84Variance(s)
+	tDiff := est.N - c
+	if !ok || tDiff <= 0 || v <= 0 {
+		return CountInterval{Lo: est.N, Hi: est.N, Point: est.N, Valid: true}
+	}
+	k := math.Exp(z * math.Sqrt(math.Log(1+v/(tDiff*tDiff))))
+	return CountInterval{
+		Lo:    c + tDiff/k,
+		Hi:    c + tDiff*k,
+		Point: est.N,
+		Valid: true,
+	}
+}

@@ -1,0 +1,80 @@
+package species
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/freqstats"
+)
+
+func TestChao84VarianceBasics(t *testing.T) {
+	if _, ok := Chao84Variance(freqstats.NewSample()); ok {
+		t.Error("empty sample has a variance")
+	}
+
+	// f1=2, f2=1: r=2, var = 1*(4 + 8 + 2) = 14.
+	s := buildSample(t, []int{1, 1, 2}, nil)
+	v, ok := Chao84Variance(s)
+	if !ok {
+		t.Fatal("variance undefined")
+	}
+	if math.Abs(v-14) > 1e-9 {
+		t.Errorf("variance = %g, want 14", v)
+	}
+
+	// Complete sample (no singletons): zero variance.
+	s = buildSample(t, []int{3, 3, 3}, nil)
+	v, ok = Chao84Variance(s)
+	if !ok || v != 0 {
+		t.Errorf("complete sample variance = %g, ok=%v", v, ok)
+	}
+}
+
+func TestChao84VarianceNoDoubletons(t *testing.T) {
+	// f1=3, f2=0: bias-corrected variance, finite and non-negative.
+	s := buildSample(t, []int{1, 1, 1, 4}, nil)
+	v, ok := Chao84Variance(s)
+	if !ok {
+		t.Fatal("variance undefined")
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("variance = %g", v)
+	}
+}
+
+func TestChao84Interval(t *testing.T) {
+	if iv := Chao84Interval(freqstats.NewSample(), 1.96); iv.Valid {
+		t.Error("empty sample interval valid")
+	}
+
+	s := buildSample(t, []int{1, 1, 2, 3, 2}, nil)
+	iv := Chao84Interval(s, 1.96)
+	if !iv.Valid {
+		t.Fatal("interval invalid")
+	}
+	c := float64(s.C())
+	if iv.Lo < c {
+		t.Errorf("lower bound %g below observed count %g", iv.Lo, c)
+	}
+	if iv.Lo > iv.Point || iv.Hi < iv.Point {
+		t.Errorf("interval [%g, %g] does not bracket point %g", iv.Lo, iv.Hi, iv.Point)
+	}
+
+	// Wider z, wider interval.
+	wide := Chao84Interval(s, 2.58)
+	if wide.Hi-wide.Lo <= iv.Hi-iv.Lo {
+		t.Errorf("z=2.58 interval [%g, %g] not wider than z=1.96 [%g, %g]",
+			wide.Lo, wide.Hi, iv.Lo, iv.Hi)
+	}
+}
+
+func TestChao84IntervalCompleteSample(t *testing.T) {
+	s := buildSample(t, []int{4, 4, 4}, nil)
+	iv := Chao84Interval(s, 1.96)
+	if !iv.Valid {
+		t.Fatal("interval invalid")
+	}
+	if iv.Lo != iv.Hi || iv.Lo != 3 {
+		t.Errorf("complete-sample interval = [%g, %g], want [3, 3]", iv.Lo, iv.Hi)
+	}
+}

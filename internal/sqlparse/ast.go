@@ -1,0 +1,222 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc is the aggregate function of a query.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggSum   AggFunc = "SUM"
+	AggCount AggFunc = "COUNT"
+	AggAvg   AggFunc = "AVG"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+	// AggMedian is an extension beyond the paper's SUM/COUNT/AVG/MIN/MAX:
+	// an open-world MEDIAN via the bucket machinery (see core.QuantileEstimate).
+	AggMedian AggFunc = "MEDIAN"
+)
+
+// Query is a parsed aggregate query.
+type Query struct {
+	// Agg is the aggregate function.
+	Agg AggFunc
+	// Attr is the aggregated attribute; "*" only for COUNT(*).
+	Attr string
+	// Table is the queried table name.
+	Table string
+	// Where is the predicate, or nil when absent.
+	Where Expr
+	// GroupBy is the grouping column, or "" when absent.
+	GroupBy string
+}
+
+// String renders the query back to SQL.
+func (q Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SELECT %s(%s) FROM %s", q.Agg, q.Attr, q.Table)
+	if q.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", q.Where)
+	}
+	if q.GroupBy != "" {
+		fmt.Fprintf(&sb, " GROUP BY %s", q.GroupBy)
+	}
+	return sb.String()
+}
+
+// Expr is a boolean predicate expression.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Value is a literal or column value flowing through predicate evaluation.
+type Value struct {
+	Kind ValueKind
+	Num  float64
+	Str  string
+	Bool bool
+}
+
+// ValueKind tags Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValueNull ValueKind = iota
+	ValueNumber
+	ValueString
+	ValueBool
+)
+
+// Number returns a numeric Value.
+func Number(x float64) Value { return Value{Kind: ValueNumber, Num: x} }
+
+// String returns a string Value.
+func StringValue(s string) Value { return Value{Kind: ValueString, Str: s} }
+
+// BoolValue returns a boolean Value.
+func BoolValue(b bool) Value { return Value{Kind: ValueBool, Bool: b} }
+
+// Null returns the NULL Value.
+func Null() Value { return Value{Kind: ValueNull} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case ValueNull:
+		return "NULL"
+	case ValueNumber:
+		return fmt.Sprintf("%g", v.Num)
+	case ValueString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case ValueBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// ColumnRef references a column by name.
+type ColumnRef struct{ Name string }
+
+func (c ColumnRef) String() string { return c.Name }
+func (ColumnRef) isExpr()          {}
+
+// Literal wraps a constant value.
+type Literal struct{ Value Value }
+
+func (l Literal) String() string { return l.Value.String() }
+func (Literal) isExpr()          {}
+
+// CompareOp is a comparison operator.
+type CompareOp string
+
+// Comparison operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "!="
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+)
+
+// Comparison is <left> <op> <right>.
+type Comparison struct {
+	Op          CompareOp
+	Left, Right Expr
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+func (Comparison) isExpr() {}
+
+// Logical is <left> AND/OR <right>.
+type Logical struct {
+	Op          string // "AND" or "OR"
+	Left, Right Expr
+}
+
+func (l Logical) String() string {
+	return fmt.Sprintf("(%s %s %s)", l.Left, l.Op, l.Right)
+}
+func (Logical) isExpr() {}
+
+// Not negates a predicate.
+type Not struct{ Expr Expr }
+
+func (n Not) String() string { return fmt.Sprintf("NOT (%s)", n.Expr) }
+func (Not) isExpr()          {}
+
+// Between is <expr> BETWEEN <lo> AND <hi> (inclusive).
+type Between struct {
+	Expr   Expr
+	Lo, Hi Expr
+	Negate bool
+}
+
+func (b Between) String() string {
+	not := ""
+	if b.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sBETWEEN %s AND %s", b.Expr, not, b.Lo, b.Hi)
+}
+func (Between) isExpr() {}
+
+// In is <expr> IN (v1, v2, ...).
+type In struct {
+	Expr   Expr
+	List   []Expr
+	Negate bool
+}
+
+func (i In) String() string {
+	parts := make([]string, len(i.List))
+	for k, e := range i.List {
+		parts[k] = e.String()
+	}
+	not := ""
+	if i.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sIN (%s)", i.Expr, not, strings.Join(parts, ", "))
+}
+func (In) isExpr() {}
+
+// Like is <expr> LIKE <pattern> with % and _ wildcards.
+type Like struct {
+	Expr    Expr
+	Pattern string
+	Negate  bool
+}
+
+func (l Like) String() string {
+	not := ""
+	if l.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("%s %sLIKE '%s'", l.Expr, not, l.Pattern)
+}
+func (Like) isExpr() {}
+
+// IsNull is <expr> IS [NOT] NULL.
+type IsNull struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (i IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("%s IS NOT NULL", i.Expr)
+	}
+	return fmt.Sprintf("%s IS NULL", i.Expr)
+}
+func (IsNull) isExpr() {}

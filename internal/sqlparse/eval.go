@@ -1,0 +1,248 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row provides column values to predicate evaluation.
+type Row interface {
+	// Column returns the value of the named column and whether the column
+	// exists. Missing values in an existing column are represented as
+	// Null().
+	Column(name string) (Value, bool)
+}
+
+// MapRow is a Row backed by a map, convenient for tests and ad-hoc use.
+type MapRow map[string]Value
+
+// Column implements Row.
+func (m MapRow) Column(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Evaluate evaluates a predicate against a row. NULL semantics are
+// simplified to two-valued logic: any comparison involving NULL is false
+// (except IS NULL / IS NOT NULL), which matches how a WHERE clause filters.
+func Evaluate(e Expr, row Row) (bool, error) {
+	switch x := e.(type) {
+	case Logical:
+		l, err := Evaluate(x.Left, row)
+		if err != nil {
+			return false, err
+		}
+		// Short-circuit.
+		if x.Op == "AND" && !l {
+			return false, nil
+		}
+		if x.Op == "OR" && l {
+			return true, nil
+		}
+		return Evaluate(x.Right, row)
+	case Not:
+		v, err := Evaluate(x.Expr, row)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	case Comparison:
+		l, err := operandValue(x.Left, row)
+		if err != nil {
+			return false, err
+		}
+		r, err := operandValue(x.Right, row)
+		if err != nil {
+			return false, err
+		}
+		return compare(x.Op, l, r)
+	case Between:
+		v, err := operandValue(x.Expr, row)
+		if err != nil {
+			return false, err
+		}
+		lo, err := operandValue(x.Lo, row)
+		if err != nil {
+			return false, err
+		}
+		hi, err := operandValue(x.Hi, row)
+		if err != nil {
+			return false, err
+		}
+		geLo, err := compare(OpGe, v, lo)
+		if err != nil {
+			return false, err
+		}
+		leHi, err := compare(OpLe, v, hi)
+		if err != nil {
+			return false, err
+		}
+		res := geLo && leHi
+		if x.Negate {
+			res = !res
+		}
+		return res, nil
+	case In:
+		v, err := operandValue(x.Expr, row)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for _, item := range x.List {
+			iv, err := operandValue(item, row)
+			if err != nil {
+				return false, err
+			}
+			eq, err := compare(OpEq, v, iv)
+			if err != nil {
+				return false, err
+			}
+			if eq {
+				found = true
+				break
+			}
+		}
+		if x.Negate {
+			found = !found
+		}
+		return found, nil
+	case Like:
+		v, err := operandValue(x.Expr, row)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind != ValueString {
+			return false, nil
+		}
+		m := likeMatch(x.Pattern, v.Str)
+		if x.Negate {
+			m = !m
+		}
+		return m, nil
+	case IsNull:
+		v, err := operandValue(x.Expr, row)
+		if err != nil {
+			return false, err
+		}
+		isNull := v.Kind == ValueNull
+		if x.Negate {
+			isNull = !isNull
+		}
+		return isNull, nil
+	case Literal:
+		if x.Value.Kind == ValueBool {
+			return x.Value.Bool, nil
+		}
+		return false, fmt.Errorf("sql: literal %s is not a predicate", x.Value)
+	case ColumnRef:
+		v, ok := row.Column(x.Name)
+		if !ok {
+			return false, fmt.Errorf("sql: unknown column %q", x.Name)
+		}
+		if v.Kind == ValueBool {
+			return v.Bool, nil
+		}
+		return false, fmt.Errorf("sql: column %q is not boolean", x.Name)
+	default:
+		return false, fmt.Errorf("sql: cannot evaluate %T as predicate", e)
+	}
+}
+
+func operandValue(e Expr, row Row) (Value, error) {
+	switch x := e.(type) {
+	case Literal:
+		return x.Value, nil
+	case ColumnRef:
+		v, ok := row.Column(x.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("sql: unknown column %q", x.Name)
+		}
+		return v, nil
+	default:
+		return Value{}, fmt.Errorf("sql: %s is not a scalar operand", e)
+	}
+}
+
+func compare(op CompareOp, l, r Value) (bool, error) {
+	if l.Kind == ValueNull || r.Kind == ValueNull {
+		return false, nil // NULL never compares true
+	}
+	if l.Kind != r.Kind {
+		return false, fmt.Errorf("sql: cannot compare %s with %s", l, r)
+	}
+	var cmp int
+	switch l.Kind {
+	case ValueNumber:
+		switch {
+		case l.Num < r.Num:
+			cmp = -1
+		case l.Num > r.Num:
+			cmp = 1
+		}
+	case ValueString:
+		cmp = strings.Compare(l.Str, r.Str)
+	case ValueBool:
+		if op != OpEq && op != OpNe {
+			return false, fmt.Errorf("sql: booleans only support = and !=")
+		}
+		if l.Bool == r.Bool {
+			cmp = 0
+		} else {
+			cmp = 1
+		}
+	}
+	switch op {
+	case OpEq:
+		return cmp == 0, nil
+	case OpNe:
+		return cmp != 0, nil
+	case OpLt:
+		return cmp < 0, nil
+	case OpLe:
+		return cmp <= 0, nil
+	case OpGt:
+		return cmp > 0, nil
+	case OpGe:
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// character), case-sensitive, via simple backtracking.
+func likeMatch(pattern, s string) bool {
+	return likeRec(pattern, s)
+}
+
+func likeRec(p, s string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		// Collapse consecutive %.
+		for len(p) > 0 && p[0] == '%' {
+			p = p[1:]
+		}
+		if p == "" {
+			return true
+		}
+		for i := 0; i <= len(s); i++ {
+			if likeRec(p, s[i:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		if s == "" {
+			return false
+		}
+		return likeRec(p[1:], s[1:])
+	default:
+		if s == "" || s[0] != p[0] {
+			return false
+		}
+		return likeRec(p[1:], s[1:])
+	}
+}

@@ -1,0 +1,196 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func row() MapRow {
+	return MapRow{
+		"employees": Number(5000),
+		"revenue":   Number(1.5),
+		"sector":    StringValue("tech"),
+		"name":      StringValue("Acme Corp"),
+		"public":    BoolValue(true),
+		"ceo":       Null(),
+	}
+}
+
+func evalString(t *testing.T, pred string) bool {
+	t.Helper()
+	e, err := ParsePredicate(pred)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pred, err)
+	}
+	got, err := Evaluate(e, row())
+	if err != nil {
+		t.Fatalf("eval %q: %v", pred, err)
+	}
+	return got
+}
+
+func TestEvaluateComparisons(t *testing.T) {
+	tests := []struct {
+		pred string
+		want bool
+	}{
+		{"employees = 5000", true},
+		{"employees != 5000", false},
+		{"employees <> 4000", true},
+		{"employees < 5000", false},
+		{"employees <= 5000", true},
+		{"employees > 4999", true},
+		{"employees >= 5001", false},
+		{"sector = 'tech'", true},
+		{"sector = 'finance'", false},
+		{"sector < 'z'", true},
+		{"public = TRUE", true},
+		{"public != FALSE", true},
+		{"revenue > 1", true},
+		{"revenue > -2", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pred, func(t *testing.T) {
+			if got := evalString(t, tt.pred); got != tt.want {
+				t.Errorf("= %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateLogic(t *testing.T) {
+	tests := []struct {
+		pred string
+		want bool
+	}{
+		{"employees > 1000 AND sector = 'tech'", true},
+		{"employees > 10000 AND sector = 'tech'", false},
+		{"employees > 10000 OR sector = 'tech'", true},
+		{"NOT sector = 'tech'", false},
+		{"NOT (employees > 10000) AND public = TRUE", true},
+		{"employees > 1 AND employees > 2 AND employees > 3", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pred, func(t *testing.T) {
+			if got := evalString(t, tt.pred); got != tt.want {
+				t.Errorf("= %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateBetweenInLike(t *testing.T) {
+	tests := []struct {
+		pred string
+		want bool
+	}{
+		{"employees BETWEEN 1000 AND 10000", true},
+		{"employees BETWEEN 5000 AND 5000", true},
+		{"employees NOT BETWEEN 1 AND 10", true},
+		{"sector IN ('tech', 'finance')", true},
+		{"sector NOT IN ('finance', 'retail')", true},
+		{"employees IN (1, 5000)", true},
+		{"name LIKE 'Acme%'", true},
+		{"name LIKE '%Corp'", true},
+		{"name LIKE '%cme C%'", true},
+		{"name LIKE 'A___ Corp'", true},
+		{"name LIKE 'acme%'", false}, // case-sensitive
+		{"name NOT LIKE 'Foo%'", true},
+		{"name LIKE '%'", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pred, func(t *testing.T) {
+			if got := evalString(t, tt.pred); got != tt.want {
+				t.Errorf("= %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateNullSemantics(t *testing.T) {
+	tests := []struct {
+		pred string
+		want bool
+	}{
+		{"ceo IS NULL", true},
+		{"ceo IS NOT NULL", false},
+		{"sector IS NULL", false},
+		{"ceo = 'anyone'", false}, // NULL never compares equal
+		{"ceo != 'anyone'", false},
+		{"NOT ceo = 'anyone'", true}, // two-valued logic
+	}
+	for _, tt := range tests {
+		t.Run(tt.pred, func(t *testing.T) {
+			if got := evalString(t, tt.pred); got != tt.want {
+				t.Errorf("= %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	tests := []struct {
+		pred   string
+		errSub string
+	}{
+		{"missing = 1", "unknown column"},
+		{"employees = 'five'", "cannot compare"},
+		{"public < TRUE", "booleans only support"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pred, func(t *testing.T) {
+			e, err := ParsePredicate(tt.pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Evaluate(e, row())
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tt.errSub) {
+				t.Errorf("error %q does not mention %q", err, tt.errSub)
+			}
+		})
+	}
+}
+
+// Bare column references are not parseable as predicates (the grammar
+// requires a comparison tail) but are evaluable when an AST is built by
+// hand: boolean columns act as predicates, others error.
+func TestEvaluateBareColumnAST(t *testing.T) {
+	got, err := Evaluate(ColumnRef{Name: "public"}, row())
+	if err != nil || !got {
+		t.Errorf("public = %v, %v", got, err)
+	}
+	if _, err := Evaluate(ColumnRef{Name: "sector"}, row()); err == nil {
+		t.Error("non-boolean bare column not reported")
+	}
+	if _, err := Evaluate(ColumnRef{Name: "missing"}, row()); err == nil {
+		t.Error("unknown bare column not reported")
+	}
+	if _, err := Evaluate(Literal{Value: Number(3)}, row()); err == nil {
+		t.Error("numeric literal as predicate not reported")
+	}
+}
+
+func TestLikeMatchCorners(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"", "", true},
+		{"%", "", true},
+		{"%%", "anything", true},
+		{"_", "", false},
+		{"_", "x", true},
+		{"a%b", "ab", true},
+		{"a%b", "axxxb", true},
+		{"a%b", "axxxc", false},
+		{"%a%a%", "banana", true},
+	}
+	for _, tt := range tests {
+		if got := likeMatch(tt.pattern, tt.s); got != tt.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tt.pattern, tt.s, got, tt.want)
+		}
+	}
+}

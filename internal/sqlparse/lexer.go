@@ -1,0 +1,139 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError reports a lexical or parse error with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes the input, appending a TokenEOF.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(input) {
+		ch := rune(input[i])
+		switch {
+		case unicode.IsSpace(ch):
+			i++
+		case ch == '(' || ch == ')' || ch == ',' || ch == '*':
+			toks = append(toks, Token{Kind: TokenSymbol, Text: string(ch), Pos: i})
+			i++
+		case ch == '=':
+			toks = append(toks, Token{Kind: TokenSymbol, Text: "=", Pos: i})
+			i++
+		case ch == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokenSymbol, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				return nil, errAt(i, "unexpected character %q", ch)
+			}
+		case ch == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '=':
+				toks = append(toks, Token{Kind: TokenSymbol, Text: "<=", Pos: i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '>':
+				toks = append(toks, Token{Kind: TokenSymbol, Text: "<>", Pos: i})
+				i += 2
+			default:
+				toks = append(toks, Token{Kind: TokenSymbol, Text: "<", Pos: i})
+				i++
+			}
+		case ch == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokenSymbol, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokenSymbol, Text: ">", Pos: i})
+				i++
+			}
+		case ch == '\'':
+			str, next, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, Token{Kind: TokenString, Text: str, Pos: i})
+			i = next
+		case unicode.IsDigit(ch) || (ch == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot, seenExp := false, false
+			for i < len(input) {
+				c := input[i]
+				if unicode.IsDigit(rune(c)) {
+					i++
+					continue
+				}
+				if c == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (c == 'e' || c == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < len(input) && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokenNumber, Text: input[start:i], Pos: start})
+		case ch == '-' || ch == '+':
+			// Signs are handled by the parser as part of literals.
+			toks = append(toks, Token{Kind: TokenSymbol, Text: string(ch), Pos: i})
+			i++
+		case unicode.IsLetter(ch) || ch == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '.') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokenKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokenIdent, Text: word, Pos: start})
+			}
+		default:
+			return nil, errAt(i, "unexpected character %q", ch)
+		}
+	}
+	toks = append(toks, Token{Kind: TokenEOF, Pos: len(input)})
+	return toks, nil
+}
+
+// lexString scans a single-quoted string starting at input[start] == '\”.
+// Doubled quotes escape a quote, SQL-style.
+func lexString(input string, start int) (string, int, error) {
+	var sb strings.Builder
+	i := start + 1
+	for i < len(input) {
+		if input[i] == '\'' {
+			if i+1 < len(input) && input[i+1] == '\'' {
+				sb.WriteByte('\'')
+				i += 2
+				continue
+			}
+			return sb.String(), i + 1, nil
+		}
+		sb.WriteByte(input[i])
+		i++
+	}
+	return "", 0, errAt(start, "unterminated string literal")
+}

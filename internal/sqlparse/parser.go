@@ -1,0 +1,352 @@
+package sqlparse
+
+import (
+	"strconv"
+)
+
+// Parse parses one aggregate query of the form
+// SELECT AGG(attr) FROM table [WHERE predicate].
+func Parse(input string) (*Query, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokenEOF, "") {
+		return nil, errAt(p.peek().Pos, "unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+// ParsePredicate parses a standalone predicate expression (used by the
+// engine's filter APIs and by tests).
+func ParsePredicate(input string) (Expr, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokenEOF, "") {
+		return nil, errAt(p.peek().Pos, "unexpected %s after predicate", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokenEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token has the given kind and, when text is
+// non-empty, the given text.
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.at(TokenKeyword, kw) {
+		return errAt(p.peek().Pos, "expected %s, found %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.at(TokenSymbol, sym) {
+		return errAt(p.peek().Pos, "expected %q, found %s", sym, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind != TokenKeyword {
+		return nil, errAt(t.Pos, "expected aggregate function, found %s", t)
+	}
+	var agg AggFunc
+	switch t.Text {
+	case "SUM", "COUNT", "AVG", "MIN", "MAX", "MEDIAN":
+		agg = AggFunc(t.Text)
+	default:
+		return nil, errAt(t.Pos, "expected aggregate function, found %s", t)
+	}
+	p.next()
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var attr string
+	switch {
+	case p.at(TokenSymbol, "*"):
+		if agg != AggCount {
+			return nil, errAt(p.peek().Pos, "* is only valid in COUNT(*)")
+		}
+		attr = "*"
+		p.next()
+	case p.peek().Kind == TokenIdent:
+		attr = p.next().Text
+	default:
+		return nil, errAt(p.peek().Pos, "expected attribute name, found %s", p.peek())
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokenIdent {
+		return nil, errAt(p.peek().Pos, "expected table name, found %s", p.peek())
+	}
+	table := p.next().Text
+
+	q := &Query{Agg: agg, Attr: attr, Table: table}
+	if p.at(TokenKeyword, "WHERE") {
+		p.next()
+		where, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+	}
+	if p.at(TokenKeyword, "GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if p.peek().Kind != TokenIdent {
+			return nil, errAt(p.peek().Pos, "expected column name after GROUP BY, found %s", p.peek())
+		}
+		q.GroupBy = p.next().Text
+	}
+	return q, nil
+}
+
+// Predicate grammar (precedence low to high): OR, AND, NOT, primary.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokenKeyword, "OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Logical{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokenKeyword, "AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = Logical{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.at(TokenKeyword, "NOT") {
+		p.next()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Expr: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.at(TokenSymbol, "(") {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseComparisonTail(left)
+}
+
+func (p *parser) parseComparisonTail(left Expr) (Expr, error) {
+	negate := false
+	if p.at(TokenKeyword, "NOT") {
+		// <operand> NOT BETWEEN/IN/LIKE ...
+		negate = true
+		p.next()
+	}
+	switch {
+	case p.at(TokenKeyword, "BETWEEN"):
+		p.next()
+		lo, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Between{Expr: left, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.at(TokenKeyword, "IN"):
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			item, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+			if p.at(TokenSymbol, ",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return In{Expr: left, List: list, Negate: negate}, nil
+	case p.at(TokenKeyword, "LIKE"):
+		p.next()
+		if p.peek().Kind != TokenString {
+			return nil, errAt(p.peek().Pos, "LIKE requires a string pattern, found %s", p.peek())
+		}
+		pat := p.next().Text
+		return Like{Expr: left, Pattern: pat, Negate: negate}, nil
+	case p.at(TokenKeyword, "IS"):
+		if negate {
+			return nil, errAt(p.peek().Pos, "NOT IS is not valid; use IS NOT NULL")
+		}
+		p.next()
+		isNeg := false
+		if p.at(TokenKeyword, "NOT") {
+			p.next()
+			isNeg = true
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{Expr: left, Negate: isNeg}, nil
+	}
+	if negate {
+		return nil, errAt(p.peek().Pos, "expected BETWEEN, IN or LIKE after NOT")
+	}
+	t := p.peek()
+	if t.Kind != TokenSymbol {
+		return nil, errAt(t.Pos, "expected comparison operator, found %s", t)
+	}
+	var op CompareOp
+	switch t.Text {
+	case "=":
+		op = OpEq
+	case "!=", "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, errAt(t.Pos, "expected comparison operator, found %s", t)
+	}
+	p.next()
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return Comparison{Op: op, Left: left, Right: right}, nil
+}
+
+// parseOperand parses a column reference or a literal.
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokenIdent:
+		p.next()
+		return ColumnRef{Name: t.Text}, nil
+	case t.Kind == TokenNumber:
+		p.next()
+		x, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t.Pos, "invalid number %q", t.Text)
+		}
+		return Literal{Value: Number(x)}, nil
+	case t.Kind == TokenString:
+		p.next()
+		return Literal{Value: StringValue(t.Text)}, nil
+	case t.Kind == TokenKeyword && t.Text == "TRUE":
+		p.next()
+		return Literal{Value: BoolValue(true)}, nil
+	case t.Kind == TokenKeyword && t.Text == "FALSE":
+		p.next()
+		return Literal{Value: BoolValue(false)}, nil
+	case t.Kind == TokenKeyword && t.Text == "NULL":
+		p.next()
+		return Literal{Value: Null()}, nil
+	case t.Kind == TokenSymbol && (t.Text == "-" || t.Text == "+"):
+		p.next()
+		n := p.peek()
+		if n.Kind != TokenNumber {
+			return nil, errAt(n.Pos, "expected number after %q", t.Text)
+		}
+		p.next()
+		x, err := strconv.ParseFloat(n.Text, 64)
+		if err != nil {
+			return nil, errAt(n.Pos, "invalid number %q", n.Text)
+		}
+		if t.Text == "-" {
+			x = -x
+		}
+		return Literal{Value: Number(x)}, nil
+	default:
+		return nil, errAt(t.Pos, "expected column or literal, found %s", t)
+	}
+}

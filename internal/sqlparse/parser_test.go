@@ -1,0 +1,181 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasicQueries(t *testing.T) {
+	tests := []struct {
+		in        string
+		agg       AggFunc
+		attr      string
+		table     string
+		hasWhere  bool
+		roundTrip string
+	}{
+		{
+			in:  "SELECT SUM(employees) FROM us_tech_companies",
+			agg: AggSum, attr: "employees", table: "us_tech_companies",
+			roundTrip: "SELECT SUM(employees) FROM us_tech_companies",
+		},
+		{
+			in:  "select count(*) from t",
+			agg: AggCount, attr: "*", table: "t",
+			roundTrip: "SELECT COUNT(*) FROM t",
+		},
+		{
+			in:  "SELECT AVG(gdp) FROM states WHERE gdp > 100",
+			agg: AggAvg, attr: "gdp", table: "states", hasWhere: true,
+			roundTrip: "SELECT AVG(gdp) FROM states WHERE gdp > 100",
+		},
+		{
+			in:  "SELECT MIN(revenue) FROM companies WHERE sector = 'tech' AND revenue >= 1.5",
+			agg: AggMin, attr: "revenue", table: "companies", hasWhere: true,
+			roundTrip: "SELECT MIN(revenue) FROM companies WHERE (sector = 'tech' AND revenue >= 1.5)",
+		},
+		{
+			in:  "SELECT MAX(v) FROM t WHERE v BETWEEN 10 AND 20",
+			agg: AggMax, attr: "v", table: "t", hasWhere: true,
+			roundTrip: "SELECT MAX(v) FROM t WHERE v BETWEEN 10 AND 20",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			q, err := Parse(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Agg != tt.agg || q.Attr != tt.attr || q.Table != tt.table {
+				t.Errorf("got %s(%s) FROM %s", q.Agg, q.Attr, q.Table)
+			}
+			if (q.Where != nil) != tt.hasWhere {
+				t.Errorf("where presence = %v, want %v", q.Where != nil, tt.hasWhere)
+			}
+			if got := q.String(); got != tt.roundTrip {
+				t.Errorf("String() = %q, want %q", got, tt.roundTrip)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		in     string
+		errSub string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT", "expected aggregate function"},
+		{"SELECT FOO(x) FROM t", "expected aggregate function"},
+		{"SELECT SUM(*) FROM t", "only valid in COUNT"},
+		{"SELECT SUM(x FROM t", "expected \")\""},
+		{"SELECT SUM(x) t", "expected FROM"},
+		{"SELECT SUM(x) FROM", "expected table name"},
+		{"SELECT SUM(x) FROM t WHERE", "expected column or literal"},
+		{"SELECT SUM(x) FROM t WHERE x >", "expected column or literal"},
+		{"SELECT SUM(x) FROM t extra", "unexpected"},
+		{"SELECT SUM(x) FROM t WHERE x LIKE 5", "LIKE requires a string"},
+		{"SELECT SUM(x) FROM t WHERE x NOT 5", "expected BETWEEN, IN or LIKE"},
+		{"SELECT SUM(x) FROM t WHERE x = 'unterminated", "unterminated string"},
+		{"SELECT SUM(x) FROM t WHERE x # 3", "unexpected character"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			_, err := Parse(tt.in)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tt.errSub) {
+				t.Errorf("error %q does not mention %q", err, tt.errSub)
+			}
+		})
+	}
+}
+
+func TestParsePredicateStandalone(t *testing.T) {
+	e, err := ParsePredicate("a > 1 AND (b < 2 OR NOT c = 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(a > 1 AND (b < 2 OR NOT (c = 3)))"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if _, err := ParsePredicate("a > 1 banana"); err == nil {
+		t.Error("trailing garbage not reported")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	e, err := ParsePredicate("profit < -1.5e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := e.(Comparison)
+	if !ok {
+		t.Fatalf("not a comparison: %T", e)
+	}
+	lit, ok := cmp.Right.(Literal)
+	if !ok || lit.Value.Num != -1500 {
+		t.Errorf("right = %v", cmp.Right)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	e, err := ParsePredicate("state IN ('CA', 'NY', 'WA')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := e.(In)
+	if !ok || len(in.List) != 3 {
+		t.Fatalf("parsed %v", e)
+	}
+	e, err = ParsePredicate("x NOT IN (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, ok := e.(In); !ok || !in.Negate {
+		t.Errorf("NOT IN parsed as %v", e)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	e, err := ParsePredicate("x IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(IsNull); !ok || n.Negate {
+		t.Errorf("parsed %v", e)
+	}
+	e, err = ParsePredicate("x IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.(IsNull); !ok || !n.Negate {
+		t.Errorf("parsed %v", e)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e, err := ParsePredicate("name = 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := e.(Comparison)
+	if lit := cmp.Right.(Literal); lit.Value.Str != "O'Brien" {
+		t.Errorf("string = %q", lit.Value.Str)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Lex("SELECT SUM(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 7 {
+		t.Errorf("positions: %v", toks)
+	}
+	if toks[len(toks)-1].Kind != TokenEOF {
+		t.Error("missing EOF token")
+	}
+}

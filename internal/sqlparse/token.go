@@ -1,0 +1,53 @@
+// Package sqlparse implements the SQL subset the paper's queries use:
+//
+//	SELECT AGG(attr) FROM table [WHERE predicate]
+//
+// with AGG one of SUM, COUNT, AVG, MIN, MAX, and predicates built from
+// comparisons, BETWEEN, IN, LIKE, IS NULL, AND, OR, NOT and parentheses.
+// The package provides the lexer, a recursive-descent parser producing a
+// small AST, and an evaluator for predicates over rows.
+package sqlparse
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenKeyword
+	TokenNumber
+	TokenString
+	TokenSymbol // ( ) , * = != <> < <= > >=
+)
+
+// Token is one lexical token with its position for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep their case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokenEOF:
+		return "end of input"
+	case TokenString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords recognized by the lexer (case-insensitive in input).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"MEDIAN": true,
+	"AND":    true, "OR": true, "NOT": true,
+	"BETWEEN": true, "IN": true, "LIKE": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true,
+	"GROUP": true, "BY": true,
+}

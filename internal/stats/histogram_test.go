@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins not reported")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range not reported")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1.9, 0}, {2, 1}, {9.99, 4},
+		{10, 4},  // top edge clamps into last bin
+		{-5, 0},  // below range clamps
+		{100, 4}, // above range clamps
+	}
+	for _, tt := range tests {
+		if got := h.BinFor(tt.x); got != tt.want {
+			t.Errorf("BinFor(%g) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+	for _, x := range []float64{0, 1, 2, 3, 9, 10} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	h, err := NewHistogram(5, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.BinFor(5); got != 0 {
+		t.Errorf("BinFor on degenerate range = %d, want 0", got)
+	}
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramBinEdges(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 4)
+	edges := h.BinEdges()
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i := range want {
+		if !almostEqual(edges[i], want[i], 1e-12) {
+			t.Errorf("edge[%d] = %g, want %g", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestEquiHeightEdges(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	edges, err := EquiHeightEdges(values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges[0] != 1 || edges[len(edges)-1] != 8 {
+		t.Errorf("edges = %v; want first 1 and last 8", edges)
+	}
+	if !sort.Float64sAreSorted(edges) {
+		t.Errorf("edges not sorted: %v", edges)
+	}
+}
+
+func TestEquiHeightEdgesDuplicateValues(t *testing.T) {
+	values := []float64{5, 5, 5, 5, 5}
+	edges, err := EquiHeightEdges(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All identical values: degenerate but well-formed edges.
+	for _, e := range edges {
+		if e != 5 {
+			t.Errorf("edges = %v, want all 5", edges)
+		}
+	}
+}
+
+func TestEquiHeightEdgesValidation(t *testing.T) {
+	if _, err := EquiHeightEdges(nil, 2); err == nil {
+		t.Error("empty values not reported")
+	}
+	if _, err := EquiHeightEdges([]float64{1}, 0); err == nil {
+		t.Error("k=0 not reported")
+	}
+}
+
+func TestEquiHeightEdgesBalancedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(200)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 1000
+		}
+		k := 2 + rng.Intn(6)
+		edges, err := EquiHeightEdges(values, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.Float64sAreSorted(edges) {
+			t.Fatalf("trial %d: edges not sorted: %v", trial, edges)
+		}
+		if len(edges) > k+1 {
+			t.Fatalf("trial %d: %d edges for k=%d", trial, len(edges), k)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("stats: singular matrix")
+
+// SolveLinear solves the dense linear system A x = b using Gaussian
+// elimination with partial pivoting. A must be square with len(A) == len(b);
+// each row of A must have len(A) entries. A and b are not modified.
+//
+// This solver backs the least-squares fits (normal equations are small and
+// well scaled here: the Monte-Carlo surface fit is 6x6).
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("stats: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("stats: dimension mismatch: %d equations, %d right-hand sides", n, len(b))
+	}
+	// Work on an augmented copy so callers keep their inputs.
+	m := make([][]float64, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), n)
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], row)
+		m[i][n] = b[i]
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: choose the row with the largest magnitude in col.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// LeastSquares solves the overdetermined system X beta ~= y in the
+// least-squares sense via the normal equations (X'X) beta = X'y. X is a
+// design matrix with one row per observation; every row must have the same
+// number of columns p, and len(X) == len(y) >= p is required.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	nObs := len(x)
+	if nObs == 0 {
+		return nil, errors.New("stats: least squares with no observations")
+	}
+	if len(y) != nObs {
+		return nil, fmt.Errorf("stats: least squares dimension mismatch: %d rows, %d targets", nObs, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("stats: least squares with no predictors")
+	}
+	if nObs < p {
+		return nil, fmt.Errorf("stats: least squares underdetermined: %d observations for %d parameters", nObs, p)
+	}
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: least squares row %d has %d columns, want %d", r, len(row), p)
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return SolveLinear(xtx, xty)
+}
