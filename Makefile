@@ -1,0 +1,29 @@
+# Development and CI entry points. `make ci` is the full gate the CI
+# workflow runs; the individual targets are useful during development.
+
+.PHONY: fmt vet build test test-short race bench ci
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+race:
+	go test -race -short ./...
+
+bench:
+	go test -run xxx -bench Columnar -benchmem .
+
+ci: fmt vet build race

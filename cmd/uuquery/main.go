@@ -180,6 +180,20 @@ func run() error {
 	fmt.Printf("loaded:    %d observations, %d unique entities, %d sources\n",
 		tbl.NumObservations(), tbl.NumRecords(), len(tbl.Sources()))
 	fmt.Printf("query:     %s\n", res.Query)
+	if len(res.Groups) > 0 {
+		for _, g := range res.Groups {
+			sub := g.Result
+			line := fmt.Sprintf("group %s: observed=%.2f", g.Key, sub.Observed)
+			if best, name, ok := sub.Best(); ok {
+				line += fmt.Sprintf("  %s-corrected=%.2f", name, best.Estimated)
+			}
+			fmt.Println(line)
+		}
+		for _, w := range res.Warnings {
+			fmt.Println("warning:  ", w)
+		}
+		return saveSnapshot(db, *saveFile)
+	}
 	fmt.Printf("observed:  %.2f   (closed-world answer)\n", res.Observed)
 	if haveTruth {
 		fmt.Printf("truth:     %.2f   (simulated ground truth)\n", truth)
@@ -236,19 +250,25 @@ func run() error {
 		}
 		fmt.Println("\n" + diag.String())
 	}
-	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
-			return err
-		}
-		if err := db.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("snapshot:  written to %s\n", *saveFile)
+	return saveSnapshot(db, *saveFile)
+}
+
+// saveSnapshot writes the database to path when set.
+func saveSnapshot(db engine.DB, path string) error {
+	if path == "" {
+		return nil
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:  written to %s\n", path)
 	return nil
 }

@@ -262,8 +262,15 @@ func costSum(bs []BucketResult) float64 {
 
 // bestSplit searches every unique attribute value in b as a split point
 // and returns the sub-bucket pair minimizing rest + cost(t1) + cost(t2),
-// provided it strictly improves on keeping b whole.
+// provided it strictly improves on keeping b whole. With the default Naive
+// inner estimator the candidate costs are computed by an O(unique values)
+// prefix-statistics sweep instead of materializing two filtered samples
+// per candidate, which turns the dynamic strategy from quadratic to
+// near-linear on large buckets; only the winning split is materialized.
 func bestSplit(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResult, bool) {
+	if _, isNaive := inner.(Naive); isNaive {
+		return bestSplitNaiveSweep(b, inner, rest)
+	}
 	uniq := uniqueSortedValues(b.Sample)
 	if len(uniq) < 2 {
 		return [2]BucketResult{}, false
@@ -285,6 +292,119 @@ func bestSplit(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResul
 		}
 	}
 	return best, found
+}
+
+// sideStats are the aggregates one side of a candidate split needs to
+// reproduce Naive{}.EstimateSum exactly: Chao92 reads only n, c, f1 and
+// sum_j j(j-1) f_j, and mean substitution additionally reads sum(values).
+type sideStats struct {
+	n, c, f1 int
+	s2       int // sum over entities of count*(count-1) == sum_j j(j-1) f_j
+	sum      float64
+}
+
+// naiveSplitCost replays the Naive-inner splitCost on aggregates: Inf for
+// a diverged (pure-singleton) side, |Delta| otherwise. The formulas mirror
+// species.Chao92 and Naive.EstimateSum term by term so split decisions
+// match the materialized path. (Value sums are accumulated in value order
+// rather than insertion order, so on non-integer data a candidate's cost
+// can differ from the materialized bucket's by float rounding; this only
+// matters for exact cost ties.)
+func naiveSplitCost(st sideStats) float64 {
+	n, c := st.n, st.c
+	if n == 0 || c == 0 {
+		return 0 // invalid estimate: Delta stays 0, mirroring EstimateSum
+	}
+	cov := 1 - float64(st.f1)/float64(n)
+	if cov <= 0 {
+		return math.Inf(1) // diverged: pure singletons
+	}
+	var cv2 float64
+	if n >= 2 {
+		cv2 = float64(c)/cov*float64(st.s2)/(float64(n)*float64(n-1)) - 1
+		if cv2 < 0 {
+			cv2 = 0
+		}
+	}
+	nHat := float64(c)/cov + float64(n)*(1-cov)/cov*cv2
+	if nHat < float64(c) {
+		nHat = float64(c)
+	}
+	delta := st.sum / float64(c) * (nHat - float64(c))
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return math.Inf(1) // finishEstimate flags this Diverged
+	}
+	return math.Abs(delta)
+}
+
+// bestSplitNaiveSweep scans candidate split points left to right over the
+// bucket's value-sorted entities, maintaining both sides' statistics
+// incrementally, and materializes only the winning split.
+func bestSplitNaiveSweep(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResult, bool) {
+	s := b.Sample
+	ids := s.Entities()
+	type entity struct {
+		value float64
+		count int
+	}
+	ents := make([]entity, len(ids))
+	for i, id := range ids {
+		v, _ := s.Value(id)
+		ents[i] = entity{value: v, count: s.Count(id)}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].value < ents[j].value })
+	if len(ents) < 2 || ents[0].value == ents[len(ents)-1].value {
+		return [2]BucketResult{}, false
+	}
+
+	accumulate := func(st *sideStats, e entity, sign int) {
+		st.n += sign * e.count
+		st.c += sign
+		if e.count == 1 {
+			st.f1 += sign
+		}
+		st.s2 += sign * e.count * (e.count - 1)
+	}
+	// The right side's sum is accumulated right-to-left (not derived by
+	// subtraction) so both sides' sums are plain forward float additions.
+	suffixSum := make([]float64, len(ents)+1)
+	for i := len(ents) - 1; i >= 0; i-- {
+		suffixSum[i] = suffixSum[i+1] + ents[i].value
+	}
+	var left sideStats
+	var right sideStats
+	for _, e := range ents {
+		accumulate(&right, e, 1)
+	}
+	right.sum = suffixSum[0]
+
+	deltaMin := rest + splitCost(b) // current total; splits must beat this
+	bestValue := 0.0
+	found := false
+	for i := 1; i < len(ents); i++ {
+		e := ents[i-1]
+		accumulate(&left, e, 1)
+		left.sum += e.value
+		accumulate(&right, e, -1)
+		right.sum = suffixSum[i]
+		if ents[i].value == e.value {
+			continue // not a boundary between unique values
+		}
+		// Candidate split at v = ents[i].value: left covers [b.Lo, v),
+		// right covers [v, b.Hi]. Both sides are non-empty by construction.
+		cand := rest + naiveSplitCost(left) + naiveSplitCost(right)
+		if deltaMin > cand {
+			deltaMin = cand
+			bestValue = ents[i].value
+			found = true
+		}
+	}
+	if !found {
+		return [2]BucketResult{}, false
+	}
+	t1 := rangeSample(b.Sample, inner, b.Lo, bestValue, false)
+	t2 := rangeSample(b.Sample, inner, bestValue, b.Hi, true)
+	return [2]BucketResult{t1, t2}, true
 }
 
 func uniqueSortedValues(s *freqstats.Sample) []float64 {

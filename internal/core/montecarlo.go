@@ -2,10 +2,11 @@ package core
 
 import (
 	"math"
-	"math/rand"
+	"runtime"
 	"sort"
 
 	"repro/internal/freqstats"
+	"repro/internal/parallelx"
 	"repro/internal/randx"
 	"repro/internal/species"
 	"repro/internal/stats"
@@ -28,6 +29,14 @@ import (
 // so it favors solutions with N-hat close to c — the conservative bias
 // discussed in Section 6.1.1.
 //
+// The grid search is embarrassingly parallel and runs on up to Workers
+// goroutines. Every (grid cell, run) pair derives its own RNG stream from
+// Seed via randx.Derive, so estimates are bitwise identical for a fixed
+// seed regardless of the worker count or scheduling. (This per-run seeding
+// scheme replaced a single sequential stream when the grid was
+// parallelized; fixed-seed results are stable going forward but differ
+// from the pre-parallel implementation.)
+//
 // The zero value is ready to use with the paper's defaults.
 type MonteCarlo struct {
 	// Runs is the number of simulation runs averaged per grid cell
@@ -42,6 +51,10 @@ type MonteCarlo struct {
 	// NSteps is the number of steps between c and N-hat_Chao92. Values
 	// < 1 mean the paper's default 10.
 	NSteps int
+	// Workers bounds the goroutines used for the grid search: 0 means
+	// GOMAXPROCS, 1 forces the sequential path. The result is identical
+	// either way.
+	Workers int
 }
 
 // DefaultMCRuns is the default number of Monte-Carlo simulation runs per
@@ -107,27 +120,36 @@ func (m MonteCarlo) EstimateN(s *freqstats.Sample) float64 {
 		return c
 	}
 	observed := s.OccurrenceCounts()
-	rng := randx.New(m.Seed)
 
 	lamLo, lamHi, lamStep := m.lambdaGrid()
 	nSteps := m.nSteps()
 	nStep := (chao.N - c) / float64(nSteps)
 
-	var us, vs, zs []float64
+	// Materialize the theta grid first, then simulate the cells in
+	// parallel. Normalized coordinates keep the surface fit well
+	// conditioned: u in [0, 1] spans [c, N-hat_Chao92], v is lambda itself.
+	type cell struct {
+		thetaN int
+		u, lam float64
+	}
+	var cells []cell
 	for i := 0; i <= nSteps; i++ {
 		thetaN := int(math.Round(c + float64(i)*nStep))
 		if thetaN < s.C() {
 			thetaN = s.C()
 		}
 		for lam := lamLo; lam <= lamHi+1e-9; lam += lamStep {
-			dist := m.simulateDistance(rng, thetaN, lam, sizes, observed)
-			// Normalized coordinates keep the surface fit well conditioned:
-			// u in [0, 1] spans [c, N-hat_Chao92], v is lambda itself.
-			us = append(us, float64(i)/float64(nSteps))
-			vs = append(vs, lam)
-			zs = append(zs, dist)
+			cells = append(cells, cell{thetaN: thetaN, u: float64(i) / float64(nSteps), lam: lam})
 		}
 	}
+	us := make([]float64, len(cells))
+	vs := make([]float64, len(cells))
+	zs := make([]float64, len(cells))
+	m.forEachCell(len(cells), func(k int) {
+		us[k] = cells[k].u
+		vs[k] = cells[k].lam
+		zs[k] = m.simulateDistance(k, cells[k].thetaN, cells[k].lam, sizes, observed)
+	})
 
 	surface, err := stats.FitQuadSurface(us, vs, zs)
 	if err != nil {
@@ -144,14 +166,28 @@ func (m MonteCarlo) EstimateN(s *freqstats.Sample) float64 {
 	return c + u*(chao.N-c)
 }
 
+// forEachCell runs fn(0..n-1) on the configured number of workers. Cells
+// are independent (each derives its own RNG streams), so scheduling does
+// not affect results.
+func (m MonteCarlo) forEachCell(n int, fn func(k int)) {
+	workers := m.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallelx.ForEach(n, workers, fn)
+}
+
 // simulateDistance is Algorithm 2: the average smoothed KL divergence over
 // the configured number of runs between the observed occurrence profile
 // and profiles simulated with population size thetaN and skew lambda.
-func (m MonteCarlo) simulateDistance(rng *rand.Rand, thetaN int, lambda float64, sizes []int, observed []int) float64 {
+// Every run draws from its own rand.Rand derived from (Seed, cell, run),
+// so the simulation is reproducible under any parallel schedule.
+func (m MonteCarlo) simulateDistance(cellIdx int, thetaN int, lambda float64, sizes []int, observed []int) float64 {
 	weights := randx.ExponentialWeights(thetaN, lambda)
 	var total float64
 	runs := m.runs()
 	for r := 0; r < runs; r++ {
+		rng := randx.New(randx.Derive(m.Seed, int64(cellIdx), int64(r)))
 		counts := make([]int, thetaN)
 		for _, nj := range sizes {
 			idx, err := randx.SampleWithoutReplacement(rng, weights, nj)

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/freqstats"
+)
+
+// TestEstimatorCostProfile is a perf canary against accidental
+// re-quadratization of the estimators: on a 10k-entity sample every
+// closed-form estimator (and the sweep-based dynamic bucket) must finish
+// in seconds, not minutes. The generous bound only trips on complexity
+// regressions, not machine noise.
+func TestEstimatorCostProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf canary; run without -short")
+	}
+	s := freqstats.NewSample()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("e%d", i)
+		for j := 0; j <= i%8; j++ {
+			if err := s.Add(freqstats.Observation{EntityID: id, Value: float64(i % 1000), Source: fmt.Sprintf("s%d", j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, est := range []SumEstimator{Naive{}, Frequency{}, Bucket{}} {
+		start := time.Now()
+		e := est.EstimateSum(s)
+		elapsed := time.Since(start)
+		t.Logf("%s: %v", est.Name(), elapsed)
+		if !e.Valid {
+			t.Errorf("%s: invalid estimate on healthy sample", est.Name())
+		}
+		if elapsed > 30*time.Second {
+			t.Errorf("%s took %v on 10k entities; complexity regression?", est.Name(), elapsed)
+		}
+	}
+	start := time.Now()
+	UpperBound{}.Bound(s)
+	t.Logf("bound: %v", time.Since(start))
+}

@@ -79,3 +79,94 @@ func TestConcurrentInsertAndQuery(t *testing.T) {
 		t.Errorf("observations = %d, want %d", tbl.NumObservations(), wantObs)
 	}
 }
+
+// TestConcurrentShardedIngestAndQuery exercises the sharded ingestion path
+// under contention: writers spread entities across all shards (distinct
+// and overlapping IDs) while readers run filtered, grouped and snapshot
+// reads. Run with -race. Beyond data-race freedom it checks that every
+// fully-synchronized read sees a consistent multiset.
+func TestConcurrentShardedIngestAndQuery(t *testing.T) {
+	var db DB
+	tbl, err := db.CreateTable("t", Schema{
+		{Name: "grp", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	const entities = 300 // spread across all 16 shards
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < entities; i++ {
+				id := fmt.Sprintf("entity-%d", i)
+				src := fmt.Sprintf("src-%d", w)
+				err := tbl.Insert(id, src, map[string]sqlparse.Value{
+					"grp": sqlparse.StringValue(fmt.Sprintf("g%d", i%3)),
+					"v":   sqlparse.Number(float64(i)),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				res, err := db.Query("SELECT SUM(v) FROM t WHERE v >= 100")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := res.Sample.CheckInvariants(); err != nil {
+					t.Error(err)
+					return
+				}
+				grouped, err := db.Query("SELECT COUNT(*) FROM t GROUP BY grp")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(grouped.Groups) > 3 {
+					t.Errorf("groups = %d, want <= 3", len(grouped.Groups))
+					return
+				}
+				_ = tbl.NumObservations()
+				_ = tbl.SourceCounts()
+				_ = tbl.Records()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := tbl.NumRecords(); got != entities {
+		t.Errorf("records = %d, want %d", got, entities)
+	}
+	if got := tbl.NumObservations(); got != writers*entities {
+		t.Errorf("observations = %d, want %d", got, writers*entities)
+	}
+	// Post-quiescence sample must be exact.
+	s, err := tbl.Sample("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.C() != entities || s.N() != writers*entities {
+		t.Errorf("sample c=%d n=%d, want c=%d n=%d", s.C(), s.N(), entities, writers*entities)
+	}
+	if s.NumSources() != writers {
+		t.Errorf("sources = %d, want %d", s.NumSources(), writers)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -69,14 +69,7 @@ func Diagnose(t *Table, attr string) (*Diagnosis, error) {
 
 	// Per-source shares from the table's lineage (exact, unlike the
 	// scaled approximation in Sample.Filter).
-	t.mu.RLock()
-	counts := map[string]int{}
-	for _, srcs := range t.lineage {
-		for s := range srcs {
-			counts[s]++
-		}
-	}
-	t.mu.RUnlock()
+	counts := t.SourceCounts()
 	for s, c := range counts {
 		share := 0.0
 		if d.Observations > 0 {

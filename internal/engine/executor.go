@@ -212,16 +212,27 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Query: q}
-		for _, g := range groups {
-			sub, err := db.executeOnSample(q, g.Sample)
+		res := &Result{Query: q, Groups: make([]GroupResult, len(groups))}
+		// Groups are independent: estimate them in parallel. Each group
+		// additionally fans its estimators out, but nested parallelFor
+		// calls draw from one shared slot pool, so total engine
+		// parallelism stays ~GOMAXPROCS. (A MonteCarlo estimator's own
+		// Workers bound is separate — its grid cells run inside the
+		// estimator's slot.)
+		err = parallelFor(len(groups), func(i int) error {
+			sub, err := db.executeOnSample(q, groups[i].Sample)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Groups = append(res.Groups, GroupResult{Key: g.Key, Result: sub})
+			res.Groups[i] = GroupResult{Key: groups[i].Key, Result: sub}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		if len(res.Groups) == 0 {
 			res.Warnings = []string{"no records match the predicate; estimates are meaningless"}
+			res.Groups = nil
 		}
 		return res, nil
 	}
@@ -252,25 +263,28 @@ func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Res
 	switch q.Agg {
 	case sqlparse.AggSum:
 		res.Observed = sample.SumValues()
-		for _, est := range estimators {
-			res.Estimates[est.Name()] = est.EstimateSum(sample)
-		}
-		res.Bound = core.UpperBound{}.Bound(sample)
+		// The paper attaches every configured estimator (plus the Section 4
+		// bound) to each query; they are independent read-only passes over
+		// the sample, so fan them out across the bounded worker pool.
+		fanOutEstimates(res, estimators, func(est core.SumEstimator) core.Estimate {
+			return est.EstimateSum(sample)
+		}, func() { res.Bound = core.UpperBound{}.Bound(sample) })
 	case sqlparse.AggCount:
 		res.Observed = float64(sample.C())
-		for _, est := range estimators {
-			res.Estimates[est.Name()] = core.CountEstimate(est, sample)
-		}
-		if iv := species.Chao84Interval(sample, 1.96); iv.Valid {
-			res.CountInterval = &iv
-		}
+		fanOutEstimates(res, estimators, func(est core.SumEstimator) core.Estimate {
+			return core.CountEstimate(est, sample)
+		}, func() {
+			if iv := species.Chao84Interval(sample, 1.96); iv.Valid {
+				res.CountInterval = &iv
+			}
+		})
 	case sqlparse.AggAvg:
 		if sample.C() > 0 {
 			res.Observed = sample.SumValues() / float64(sample.C())
 		}
-		for _, est := range estimators {
-			res.Estimates[est.Name()] = core.AvgEstimate(est, sample)
-		}
+		fanOutEstimates(res, estimators, func(est core.SumEstimator) core.Estimate {
+			return core.AvgEstimate(est, sample)
+		}, nil)
 	case sqlparse.AggMin, sqlparse.AggMax:
 		bucket := findBucket(estimators)
 		var ext core.ExtremeResult
@@ -304,6 +318,29 @@ func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Res
 
 	res.Warnings = db.warnings(res)
 	return res, nil
+}
+
+// fanOutEstimates runs every estimator (and an optional extra task, e.g.
+// the Section 4 bound) concurrently on the bounded query worker pool and
+// stores the results keyed by estimator name. Estimators are pure readers
+// of the sample, which is immutable once built.
+func fanOutEstimates(res *Result, estimators []core.SumEstimator, run func(core.SumEstimator) core.Estimate, extra func()) {
+	ests := make([]core.Estimate, len(estimators))
+	n := len(estimators)
+	if extra != nil {
+		n++
+	}
+	_ = parallelFor(n, func(i int) error {
+		if i == len(estimators) {
+			extra()
+			return nil
+		}
+		ests[i] = run(estimators[i])
+		return nil
+	})
+	for i, est := range estimators {
+		res.Estimates[est.Name()] = ests[i]
+	}
 }
 
 func findBucket(estimators []core.SumEstimator) core.Bucket {

@@ -1,0 +1,502 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// Vectorized predicate compilation. A WHERE expression is compiled once
+// per query into a tree of filterNodes whose eval produces a selection
+// bitmap per shard. Evaluation is lazy over an input mask, which preserves
+// the row-at-a-time engine's short-circuit semantics exactly: the right
+// operand of AND only sees rows the left operand kept, the right operand
+// of OR only sees rows the left operand rejected, so type errors hidden by
+// short-circuiting stay hidden.
+//
+// Column references are resolved to column indexes at compile time, so the
+// per-row work is direct slice indexing — no map lookups, no Record
+// materialization, no interface boxing on the float fast path.
+
+// filterProgram is a compiled WHERE predicate.
+type filterProgram struct {
+	root filterNode
+}
+
+// eval computes out = rows of sel satisfying the predicate. out must be
+// sized to the shard and is overwritten.
+func (p *filterProgram) eval(sh *shard, sel, out *bitmap) error {
+	for i := range out.words {
+		out.words[i] = 0
+	}
+	return p.root.eval(sh, sel, out)
+}
+
+type filterNode interface {
+	// eval sets, in out, the subset of sel's rows satisfying the node.
+	// out starts zeroed; implementations only set bits within sel.
+	eval(sh *shard, sel, out *bitmap) error
+}
+
+// compileFilter compiles a predicate against a schema. A nil expression
+// compiles to a nil program (keep everything). Columns absent from the
+// schema are a compile-time error.
+func compileFilter(schema Schema, colIdx map[string]int, e sqlparse.Expr) (*filterProgram, error) {
+	if e == nil {
+		return nil, nil
+	}
+	node, err := compileNode(schema, colIdx, e)
+	if err != nil {
+		return nil, err
+	}
+	return &filterProgram{root: node}, nil
+}
+
+func compileNode(schema Schema, colIdx map[string]int, e sqlparse.Expr) (filterNode, error) {
+	switch x := e.(type) {
+	case sqlparse.Logical:
+		l, err := compileNode(schema, colIdx, x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileNode(schema, colIdx, x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "AND" {
+			return &andNode{l: l, r: r}, nil
+		}
+		return &orNode{l: l, r: r}, nil
+	case sqlparse.Not:
+		child, err := compileNode(schema, colIdx, x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{child: child}, nil
+	case sqlparse.Comparison:
+		l, err := compileOperand(schema, colIdx, x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileOperand(schema, colIdx, x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &cmpNode{op: x.Op, left: l, right: r}, nil
+	case sqlparse.Between:
+		v, err := compileOperand(schema, colIdx, x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileOperand(schema, colIdx, x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileOperand(schema, colIdx, x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &betweenNode{v: v, lo: lo, hi: hi, negate: x.Negate}, nil
+	case sqlparse.In:
+		v, err := compileOperand(schema, colIdx, x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]operand, len(x.List))
+		for i, item := range x.List {
+			op, err := compileOperand(schema, colIdx, item)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = op
+		}
+		return &inNode{v: v, items: items, negate: x.Negate}, nil
+	case sqlparse.Like:
+		v, err := compileOperand(schema, colIdx, x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &likeNode{v: v, pattern: x.Pattern, negate: x.Negate}, nil
+	case sqlparse.IsNull:
+		v, err := compileOperand(schema, colIdx, x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &isNullNode{v: v, negate: x.Negate}, nil
+	case sqlparse.Literal:
+		if x.Value.Kind == sqlparse.ValueBool {
+			return &constNode{value: x.Value.Bool}, nil
+		}
+		return nil, fmt.Errorf("sql: literal %s is not a predicate", x.Value)
+	case sqlparse.ColumnRef:
+		ci, ok := colIdx[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown column %q", x.Name)
+		}
+		return &boolColNode{name: x.Name, col: ci, isBool: schema[ci].Type == TypeBool}, nil
+	default:
+		return nil, fmt.Errorf("sql: cannot evaluate %T as predicate", e)
+	}
+}
+
+// operand is a compiled scalar operand: a literal or a resolved column.
+type operand struct {
+	isCol bool
+	col   int
+	name  string
+	typ   ColumnType
+	lit   sqlparse.Value
+}
+
+func compileOperand(schema Schema, colIdx map[string]int, e sqlparse.Expr) (operand, error) {
+	switch x := e.(type) {
+	case sqlparse.Literal:
+		return operand{lit: x.Value}, nil
+	case sqlparse.ColumnRef:
+		ci, ok := colIdx[x.Name]
+		if !ok {
+			return operand{}, fmt.Errorf("sql: unknown column %q", x.Name)
+		}
+		return operand{isCol: true, col: ci, name: x.Name, typ: schema[ci].Type}, nil
+	default:
+		return operand{}, fmt.Errorf("sql: %s is not a scalar operand", e)
+	}
+}
+
+// value fetches the operand's value at a row. Referencing a column the
+// record never provided is an error, mirroring Record.Column + the
+// row-at-a-time evaluator.
+func (o *operand) value(sh *shard, row int) (sqlparse.Value, error) {
+	if !o.isCol {
+		return o.lit, nil
+	}
+	v, ok := sh.cols[o.col].value(row)
+	if !ok {
+		return sqlparse.Value{}, fmt.Errorf("sql: unknown column %q", o.name)
+	}
+	return v, nil
+}
+
+// isFloatCol reports whether the operand is a FLOAT column reference.
+func (o *operand) isFloatCol() bool { return o.isCol && o.typ == TypeFloat }
+
+type andNode struct{ l, r filterNode }
+
+func (n *andNode) eval(sh *shard, sel, out *bitmap) error {
+	tmp := borrowBitmap(sel.n)
+	defer releaseBitmap(tmp)
+	if err := n.l.eval(sh, sel, tmp); err != nil {
+		return err
+	}
+	return n.r.eval(sh, tmp, out)
+}
+
+type orNode struct{ l, r filterNode }
+
+func (n *orNode) eval(sh *shard, sel, out *bitmap) error {
+	if err := n.l.eval(sh, sel, out); err != nil {
+		return err
+	}
+	rest := borrowBitmap(sel.n)
+	defer releaseBitmap(rest)
+	rest.copyFrom(sel)
+	rest.andNot(out) // rows the left side rejected
+	tmp := borrowBitmap(sel.n)
+	defer releaseBitmap(tmp)
+	if err := n.r.eval(sh, rest, tmp); err != nil {
+		return err
+	}
+	out.or(tmp)
+	return nil
+}
+
+type notNode struct{ child filterNode }
+
+func (n *notNode) eval(sh *shard, sel, out *bitmap) error {
+	tmp := borrowBitmap(sel.n)
+	defer releaseBitmap(tmp)
+	if err := n.child.eval(sh, sel, tmp); err != nil {
+		return err
+	}
+	out.or(sel)
+	out.andNot(tmp)
+	return nil
+}
+
+type constNode struct{ value bool }
+
+func (n *constNode) eval(sh *shard, sel, out *bitmap) error {
+	if n.value {
+		out.or(sel)
+	}
+	return nil
+}
+
+// boolColNode is a bare boolean column used as a predicate.
+type boolColNode struct {
+	name   string
+	col    int
+	isBool bool
+}
+
+func (n *boolColNode) eval(sh *shard, sel, out *bitmap) error {
+	col := &sh.cols[n.col]
+	return sel.forEach(func(row int) error {
+		if !col.defined.get(row) {
+			return fmt.Errorf("sql: unknown column %q", n.name)
+		}
+		if !n.isBool || !col.valid.get(row) {
+			return fmt.Errorf("sql: column %q is not boolean", n.name)
+		}
+		if col.bools[row] {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+type cmpNode struct {
+	op          sqlparse.CompareOp
+	left, right operand
+}
+
+func (n *cmpNode) eval(sh *shard, sel, out *bitmap) error {
+	// Fast path: FLOAT column vs numeric literal — the dominant predicate
+	// shape. Direct slice compares, no Value boxing.
+	if n.left.isFloatCol() && !n.right.isCol && n.right.lit.Kind == sqlparse.ValueNumber {
+		return evalFloatCmp(sh, sel, out, &n.left, n.op, n.right.lit.Num, false)
+	}
+	if n.right.isFloatCol() && !n.left.isCol && n.left.lit.Kind == sqlparse.ValueNumber {
+		return evalFloatCmp(sh, sel, out, &n.right, n.op, n.left.lit.Num, true)
+	}
+	return sel.forEach(func(row int) error {
+		l, err := n.left.value(sh, row)
+		if err != nil {
+			return err
+		}
+		r, err := n.right.value(sh, row)
+		if err != nil {
+			return err
+		}
+		ok, err := compareValues(n.op, l, r)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+// evalFloatCmp runs <col> <op> <c> (or <c> <op> <col> when flipped) over
+// the selected rows of a float column.
+func evalFloatCmp(sh *shard, sel, out *bitmap, colOp *operand, op sqlparse.CompareOp, c float64, flipped bool) error {
+	col := &sh.cols[colOp.col]
+	vals := col.floats
+	return sel.forEach(func(row int) error {
+		if !col.defined.get(row) {
+			return fmt.Errorf("sql: unknown column %q", colOp.name)
+		}
+		if !col.valid.get(row) {
+			return nil // NULL never compares true
+		}
+		l, r := vals[row], c
+		if flipped {
+			l, r = r, l
+		}
+		var keep bool
+		switch op {
+		case sqlparse.OpEq:
+			keep = l == r
+		case sqlparse.OpNe:
+			keep = l != r
+		case sqlparse.OpLt:
+			keep = l < r
+		case sqlparse.OpLe:
+			keep = l <= r
+		case sqlparse.OpGt:
+			keep = l > r
+		case sqlparse.OpGe:
+			keep = l >= r
+		default:
+			return fmt.Errorf("sql: unknown operator %q", op)
+		}
+		if keep {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+type betweenNode struct {
+	v, lo, hi operand
+	negate    bool
+}
+
+func (n *betweenNode) eval(sh *shard, sel, out *bitmap) error {
+	return sel.forEach(func(row int) error {
+		v, err := n.v.value(sh, row)
+		if err != nil {
+			return err
+		}
+		lo, err := n.lo.value(sh, row)
+		if err != nil {
+			return err
+		}
+		hi, err := n.hi.value(sh, row)
+		if err != nil {
+			return err
+		}
+		geLo, err := compareValues(sqlparse.OpGe, v, lo)
+		if err != nil {
+			return err
+		}
+		leHi, err := compareValues(sqlparse.OpLe, v, hi)
+		if err != nil {
+			return err
+		}
+		res := geLo && leHi
+		if n.negate {
+			res = !res
+		}
+		if res {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+type inNode struct {
+	v      operand
+	items  []operand
+	negate bool
+}
+
+func (n *inNode) eval(sh *shard, sel, out *bitmap) error {
+	return sel.forEach(func(row int) error {
+		v, err := n.v.value(sh, row)
+		if err != nil {
+			return err
+		}
+		found := false
+		for i := range n.items {
+			iv, err := n.items[i].value(sh, row)
+			if err != nil {
+				return err
+			}
+			eq, err := compareValues(sqlparse.OpEq, v, iv)
+			if err != nil {
+				return err
+			}
+			if eq {
+				found = true
+				break
+			}
+		}
+		if n.negate {
+			found = !found
+		}
+		if found {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+type likeNode struct {
+	v       operand
+	pattern string
+	negate  bool
+}
+
+func (n *likeNode) eval(sh *shard, sel, out *bitmap) error {
+	return sel.forEach(func(row int) error {
+		v, err := n.v.value(sh, row)
+		if err != nil {
+			return err
+		}
+		if v.Kind != sqlparse.ValueString {
+			// A non-string (or NULL) operand fails LIKE before negation is
+			// applied, mirroring sqlparse.Evaluate: NOT LIKE still rejects it.
+			return nil
+		}
+		m := sqlparse.LikeMatch(n.pattern, v.Str)
+		if n.negate {
+			m = !m
+		}
+		if m {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+type isNullNode struct {
+	v      operand
+	negate bool
+}
+
+func (n *isNullNode) eval(sh *shard, sel, out *bitmap) error {
+	return sel.forEach(func(row int) error {
+		v, err := n.v.value(sh, row)
+		if err != nil {
+			return err
+		}
+		isNull := v.Kind == sqlparse.ValueNull
+		if n.negate {
+			isNull = !isNull
+		}
+		if isNull {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+// compareValues mirrors sqlparse's comparison semantics: NULL never
+// compares true, mixed kinds are an error, booleans only support = / !=.
+func compareValues(op sqlparse.CompareOp, l, r sqlparse.Value) (bool, error) {
+	if l.Kind == sqlparse.ValueNull || r.Kind == sqlparse.ValueNull {
+		return false, nil
+	}
+	if l.Kind != r.Kind {
+		return false, fmt.Errorf("sql: cannot compare %s with %s", l, r)
+	}
+	var cmp int
+	switch l.Kind {
+	case sqlparse.ValueNumber:
+		switch {
+		case l.Num < r.Num:
+			cmp = -1
+		case l.Num > r.Num:
+			cmp = 1
+		}
+	case sqlparse.ValueString:
+		cmp = strings.Compare(l.Str, r.Str)
+	case sqlparse.ValueBool:
+		if op != sqlparse.OpEq && op != sqlparse.OpNe {
+			return false, fmt.Errorf("sql: booleans only support = and !=")
+		}
+		if l.Bool != r.Bool {
+			cmp = 1
+		}
+	}
+	switch op {
+	case sqlparse.OpEq:
+		return cmp == 0, nil
+	case sqlparse.OpNe:
+		return cmp != 0, nil
+	case sqlparse.OpLt:
+		return cmp < 0, nil
+	case sqlparse.OpLe:
+		return cmp <= 0, nil
+	case sqlparse.OpGt:
+		return cmp > 0, nil
+	case sqlparse.OpGe:
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// filterParityTable builds a table covering the value-kind matrix the
+// compiled filter must agree with the row-at-a-time evaluator on: strings,
+// NULLs, booleans and floats.
+func filterParityTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("t", Schema{
+		{Name: "s", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+		{Name: "b", Type: TypeBool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		id string
+		s  sqlparse.Value
+		v  sqlparse.Value
+		b  sqlparse.Value
+	}{
+		{"r1", sqlparse.StringValue("alpha"), sqlparse.Number(1), sqlparse.BoolValue(true)},
+		{"r2", sqlparse.StringValue("beta"), sqlparse.Number(2), sqlparse.BoolValue(false)},
+		{"r3", sqlparse.Null(), sqlparse.Number(3), sqlparse.BoolValue(true)},
+		{"r4", sqlparse.StringValue("alps"), sqlparse.Null(), sqlparse.BoolValue(false)},
+		{"r5", sqlparse.StringValue("gamma"), sqlparse.Number(5), sqlparse.BoolValue(true)},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r.id, "src", map[string]sqlparse.Value{"s": r.s, "v": r.v, "b": r.b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// TestCompiledFilterMatchesEvaluate runs a predicate zoo through both the
+// vectorized path (Table.Sample) and sqlparse.Evaluate over the records
+// and demands identical keep-sets — the compiled filter's contract.
+func TestCompiledFilterMatchesEvaluate(t *testing.T) {
+	tbl := filterParityTable(t)
+	predicates := []string{
+		"v > 2",
+		"v >= 1 AND v < 5",
+		"s = 'alpha' OR v = 5",
+		"NOT (v > 2)",
+		"s LIKE 'al%'",
+		"s NOT LIKE 'al%'", // regression: NULL s must stay rejected under NOT LIKE
+		"s LIKE '%a'",
+		"s IS NULL",
+		"s IS NOT NULL",
+		"v BETWEEN 2 AND 5",
+		"v NOT BETWEEN 2 AND 5",
+		"s IN ('alpha', 'gamma')",
+		"s NOT IN ('alpha', 'gamma')",
+		"b = TRUE",
+		"v IS NULL OR v < 2",
+	}
+	parsed := make(map[string]sqlparse.Expr, len(predicates)+1)
+	for _, src := range predicates {
+		pred, err := sqlparse.ParsePredicate(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", src, err)
+		}
+		parsed[src] = pred
+	}
+	// A bare boolean column is a valid predicate AST even though the
+	// parser never emits one.
+	predicates = append(predicates, "bare column b")
+	parsed["bare column b"] = sqlparse.ColumnRef{Name: "b"}
+	for _, src := range predicates {
+		pred := parsed[src]
+		want := []string{}
+		for _, rec := range tbl.Records() {
+			keep, err := sqlparse.Evaluate(pred, rec)
+			if err != nil {
+				t.Fatalf("%s: Evaluate: %v", src, err)
+			}
+			if keep {
+				want = append(want, rec.EntityID)
+			}
+		}
+		s, err := tbl.Sample("", pred)
+		if err != nil {
+			t.Fatalf("%s: Sample: %v", src, err)
+		}
+		got := s.Entities()
+		sort.Strings(got)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Errorf("%s: compiled kept %v, evaluator kept %v", src, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: compiled kept %v, evaluator kept %v", src, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestCompiledFilterErrorParity checks the error cases agree with the
+// evaluator: unknown columns fail, and short-circuiting can mask a type
+// error only when no evaluated row reaches it.
+func TestCompiledFilterErrorParity(t *testing.T) {
+	tbl := filterParityTable(t)
+	fails := []string{
+		"ghost = 1",       // unknown column (compile-time in the vectorized path)
+		"s > 5",           // kind mismatch on reached rows
+		"v > 0 AND s > 5", // every row reaches the right operand
+	}
+	for _, src := range fails {
+		pred, err := sqlparse.ParsePredicate(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", src, err)
+		}
+		if _, err := tbl.Sample("", pred); err == nil {
+			t.Errorf("%s: expected error, got none", src)
+		}
+	}
+	// A non-boolean literal predicate (only constructible directly).
+	if _, err := tbl.Sample("", sqlparse.Literal{Value: sqlparse.Number(5)}); err == nil {
+		t.Error("literal 5 as predicate: expected error, got none")
+	}
+	// Short-circuit masking: every row passes the left side (v is NULL or
+	// numeric), so the ill-typed right comparison is never evaluated —
+	// same as the row-at-a-time evaluator.
+	pred, err := sqlparse.ParsePredicate("v IS NULL OR v < 100 OR s > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tbl.Sample("", pred)
+	if err != nil {
+		t.Fatalf("masked type error surfaced: %v", err)
+	}
+	if s.C() != 5 {
+		t.Errorf("kept %d rows, want all 5", s.C())
+	}
+}

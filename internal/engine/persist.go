@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/sqlparse"
 )
@@ -117,24 +116,17 @@ func (db *DB) Save(w io.Writer) error {
 	snap := snapshotDB{Version: snapshotVersion}
 	for _, name := range db.TableNames() {
 		t := db.tables[name]
-		t.mu.RLock()
 		st := snapshotTable{Name: t.name}
 		for _, c := range t.schema {
 			st.Schema = append(st.Schema, snapshotColumn{Name: c.Name, Type: encodeColumnType(c.Type)})
 		}
-		for _, id := range t.order {
-			rec := t.records[id]
-			sr := snapshotRecord{Entity: id, Attrs: map[string]snapshotValue{}}
-			for k, v := range rec.Attrs {
+		for _, row := range t.rowsSnapshot() {
+			sr := snapshotRecord{Entity: row.ID, Attrs: map[string]snapshotValue{}, Sources: row.Sources}
+			for k, v := range row.Attrs {
 				sr.Attrs[k] = encodeValue(v)
 			}
-			for src := range t.lineage[id] {
-				sr.Sources = append(sr.Sources, src)
-			}
-			sort.Strings(sr.Sources)
 			st.Records = append(st.Records, sr)
 		}
-		t.mu.RUnlock()
 		snap.Tables = append(snap.Tables, st)
 	}
 	enc := json.NewEncoder(w)

@@ -5,12 +5,20 @@
 // are answered in the open world: alongside the observed value, the
 // executor attaches estimates of the impact of unknown unknowns, the
 // Section 4 upper bound, and coverage warnings.
+//
+// Storage is columnar and sharded: each table hashes entities across
+// fixed shards, and each shard keeps typed column vectors ([]float64,
+// []string, []bool) with defined/valid bitmaps plus a parallel lineage
+// array (the per-entity source multiset). Ingestion locks only the target
+// entity's shard, and query scans run shard-parallel with predicates
+// compiled once into vectorized filters (see filter.go).
 package engine
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/freqstats"
 	"repro/internal/sqlparse"
@@ -72,22 +80,109 @@ func (r Record) Column(name string) (sqlparse.Value, bool) {
 	return v, ok
 }
 
+// numShards is the fixed shard fan-out of a table. Entities are hashed to
+// shards, so shards are balanced for any realistic entity-ID distribution
+// and a single entity's lineage always lives in exactly one shard.
+const numShards = 16
+
+// colVector is one shard's storage for one column: a typed value vector
+// plus two bitmaps. defined marks rows whose insert provided the column at
+// all; valid marks rows holding a non-NULL value. The distinction preserves
+// the engine's historical predicate semantics: referencing a column a
+// record never provided is an error, while a provided NULL just fails the
+// comparison.
+type colVector struct {
+	typ     ColumnType
+	floats  []float64
+	strs    []string
+	bools   []bool
+	defined bitmap
+	valid   bitmap
+}
+
+// appendRow appends one row's value. provided reports whether the insert
+// supplied the column; v is only read when provided.
+func (c *colVector) appendRow(v sqlparse.Value, provided bool) {
+	row := 0
+	switch c.typ {
+	case TypeFloat:
+		row = len(c.floats)
+		var x float64
+		if provided && v.Kind == sqlparse.ValueNumber {
+			x = v.Num
+		}
+		c.floats = append(c.floats, x)
+	case TypeString:
+		row = len(c.strs)
+		var x string
+		if provided && v.Kind == sqlparse.ValueString {
+			x = v.Str
+		}
+		c.strs = append(c.strs, x)
+	case TypeBool:
+		row = len(c.bools)
+		var x bool
+		if provided && v.Kind == sqlparse.ValueBool {
+			x = v.Bool
+		}
+		c.bools = append(c.bools, x)
+	}
+	c.defined.grow(row + 1)
+	c.valid.grow(row + 1)
+	if provided {
+		c.defined.set(row)
+		if v.Kind != sqlparse.ValueNull {
+			c.valid.set(row)
+		}
+	}
+}
+
+// value reconstructs the sqlparse.Value at row; ok is false when the row
+// never provided the column.
+func (c *colVector) value(row int) (v sqlparse.Value, ok bool) {
+	if !c.defined.get(row) {
+		return sqlparse.Value{}, false
+	}
+	if !c.valid.get(row) {
+		return sqlparse.Null(), true
+	}
+	switch c.typ {
+	case TypeFloat:
+		return sqlparse.Number(c.floats[row]), true
+	case TypeString:
+		return sqlparse.StringValue(c.strs[row]), true
+	default:
+		return sqlparse.BoolValue(c.bools[row]), true
+	}
+}
+
+// shard is one horizontal slice of a table. All per-row state is stored in
+// parallel arrays indexed by the shard-local row number; rows are never
+// deleted. seq holds the table-global first-insertion sequence number used
+// to reconstruct insertion order across shards.
+type shard struct {
+	mu      sync.RWMutex
+	ids     []string
+	index   map[string]int
+	seq     []uint64
+	cols    []colVector
+	lineage [][]string // per-row sorted source names (the source multiset)
+	nObs    int
+}
+
+func (sh *shard) rows() int { return len(sh.ids) }
+
 // Table is an integrated table with lineage. The zero value is not usable;
 // create tables with NewTable. Tables are safe for concurrent use: inserts
-// take a write lock, reads and query sampling take read locks.
+// lock only the entity's shard, so writers to different shards never
+// contend; reads and query scans briefly read-lock every shard at once and
+// therefore observe a consistent point-in-time cut of the table.
 type Table struct {
-	mu     sync.RWMutex
 	name   string
 	schema Schema
-	// records holds the deduplicated view K.
-	records map[string]*Record
-	// lineage[entity][source] is true when source reported entity. A
-	// source mentions an entity at most once (sampling without
-	// replacement, Section 2.2); re-insertions from the same source are
-	// idempotent.
-	lineage map[string]map[string]bool
-	order   []string // entity IDs in first-insertion order
-	nObs    int      // total (entity, source) observations |S|
+	colIdx map[string]int
+	shards [numShards]*shard
+	seq    atomic.Uint64
 }
 
 // NewTable creates an empty table with the given schema. The schema must
@@ -99,22 +194,25 @@ func NewTable(name string, schema Schema) (*Table, error) {
 	if len(schema) == 0 {
 		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
 	}
-	seen := map[string]bool{}
-	for _, c := range schema {
+	colIdx := make(map[string]int, len(schema))
+	for i, c := range schema {
 		if c.Name == "" {
 			return nil, fmt.Errorf("engine: table %q has an unnamed column", name)
 		}
-		if seen[c.Name] {
+		if _, dup := colIdx[c.Name]; dup {
 			return nil, fmt.Errorf("engine: table %q has duplicate column %q", name, c.Name)
 		}
-		seen[c.Name] = true
+		colIdx[c.Name] = i
 	}
-	return &Table{
-		name:    name,
-		schema:  schema,
-		records: make(map[string]*Record),
-		lineage: make(map[string]map[string]bool),
-	}, nil
+	t := &Table{name: name, schema: schema, colIdx: colIdx}
+	for i := range t.shards {
+		sh := &shard{index: make(map[string]int), cols: make([]colVector, len(schema))}
+		for ci, c := range schema {
+			sh.cols[ci].typ = c.Type
+		}
+		t.shards[i] = sh
+	}
+	return t, nil
 }
 
 // Name returns the table name.
@@ -123,18 +221,54 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.schema }
 
+// shardFor hashes an entity ID to its shard (FNV-1a).
+func (t *Table) shardFor(entityID string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(entityID); i++ {
+		h ^= uint64(entityID[i])
+		h *= prime64
+	}
+	return t.shards[h&(numShards-1)]
+}
+
+// rlockAll acquires every shard's read lock in index order and returns
+// the matching release. Multi-shard reads (counts, records, scans,
+// snapshots) hold all shards at once so they observe a point-in-time cut
+// of the table, exactly like the old single table lock — writers on other
+// shards block only for the duration of the read.
+func (t *Table) rlockAll() func() {
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+	}
+	return func() {
+		for _, sh := range t.shards {
+			sh.mu.RUnlock()
+		}
+	}
+}
+
 // NumRecords returns the number of unique entities (|K|).
 func (t *Table) NumRecords() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.records)
+	defer t.rlockAll()()
+	total := 0
+	for _, sh := range t.shards {
+		total += sh.rows()
+	}
+	return total
 }
 
 // NumObservations returns the multiset size |S|.
 func (t *Table) NumObservations() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.nObs
+	defer t.rlockAll()()
+	total := 0
+	for _, sh := range t.shards {
+		total += sh.nObs
+	}
+	return total
 }
 
 // Insert records that source reported the entity with the given attribute
@@ -142,38 +276,46 @@ func (t *Table) NumObservations() int {
 // (the model assumes cleaned, fused input); later insertions from new
 // sources only extend the lineage, and a value mismatch is reported as an
 // error while still counting the observation. Attribute values are
-// validated against the schema.
+// validated against the schema. Only the entity's shard is locked, so
+// inserts for different shards proceed in parallel.
 func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if entityID == "" {
 		return fmt.Errorf("engine: %s: empty entity ID", t.name)
 	}
 	if source == "" {
 		return fmt.Errorf("engine: %s: empty source", t.name)
 	}
-	rec, exists := t.records[entityID]
+	sh := t.shardFor(entityID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	row, exists := sh.index[entityID]
 	if !exists {
 		if err := t.validate(attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 		}
-		copied := make(map[string]sqlparse.Value, len(attrs))
-		for k, v := range attrs {
-			copied[k] = v
+		row = sh.rows()
+		sh.ids = append(sh.ids, entityID)
+		sh.index[entityID] = row
+		sh.seq = append(sh.seq, t.seq.Add(1))
+		for ci := range sh.cols {
+			v, ok := attrs[t.schema[ci].Name]
+			sh.cols[ci].appendRow(v, ok)
 		}
-		rec = &Record{EntityID: entityID, Attrs: copied}
-		t.records[entityID] = rec
-		t.lineage[entityID] = make(map[string]bool)
-		t.order = append(t.order, entityID)
+		sh.lineage = append(sh.lineage, nil)
 	}
-	if t.lineage[entityID][source] {
+	srcs := sh.lineage[row]
+	pos := sort.SearchStrings(srcs, source)
+	if pos < len(srcs) && srcs[pos] == source {
 		// Idempotent: one source mentions an entity once.
 		return nil
 	}
-	t.lineage[entityID][source] = true
-	t.nObs++
+	srcs = append(srcs, "")
+	copy(srcs[pos+1:], srcs[pos:])
+	srcs[pos] = source
+	sh.lineage[row] = srcs
+	sh.nObs++
 	if exists {
-		if err := t.checkConsistent(rec, attrs); err != nil {
+		if err := t.checkConsistent(sh, row, attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 		}
 	}
@@ -182,7 +324,7 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 
 func (t *Table) validate(attrs map[string]sqlparse.Value) error {
 	for name, v := range attrs {
-		col, ok := t.schema.Column(name)
+		ci, ok := t.colIdx[name]
 		if !ok {
 			return fmt.Errorf("unknown column %q", name)
 		}
@@ -190,7 +332,7 @@ func (t *Table) validate(attrs map[string]sqlparse.Value) error {
 			continue
 		}
 		ok = false
-		switch col.Type {
+		switch t.schema[ci].Type {
 		case TypeFloat:
 			ok = v.Kind == sqlparse.ValueNumber
 		case TypeString:
@@ -199,15 +341,19 @@ func (t *Table) validate(attrs map[string]sqlparse.Value) error {
 			ok = v.Kind == sqlparse.ValueBool
 		}
 		if !ok {
-			return fmt.Errorf("column %q expects %s, got %s", name, col.Type, v)
+			return fmt.Errorf("column %q expects %s, got %s", name, t.schema[ci].Type, v)
 		}
 	}
 	return nil
 }
 
-func (t *Table) checkConsistent(rec *Record, attrs map[string]sqlparse.Value) error {
+func (t *Table) checkConsistent(sh *shard, row int, attrs map[string]sqlparse.Value) error {
 	for name, v := range attrs {
-		prev, ok := rec.Attrs[name]
+		ci, ok := t.colIdx[name]
+		if !ok {
+			continue
+		}
+		prev, ok := sh.cols[ci].value(row)
 		if !ok {
 			continue
 		}
@@ -218,27 +364,51 @@ func (t *Table) checkConsistent(rec *Record, attrs map[string]sqlparse.Value) er
 	return nil
 }
 
+// record materializes the user-visible Record at a shard row.
+func (sh *shard) record(t *Table, row int) Record {
+	attrs := make(map[string]sqlparse.Value, len(t.schema))
+	for ci := range sh.cols {
+		if v, ok := sh.cols[ci].value(row); ok {
+			attrs[t.schema[ci].Name] = v
+		}
+	}
+	return Record{EntityID: sh.ids[row], Attrs: attrs}
+}
+
 // Records returns the user-visible records in insertion order.
 func (t *Table) Records() []Record {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Record, 0, len(t.order))
-	for _, id := range t.order {
-		out = append(out, *t.records[id])
+	type seqRecord struct {
+		seq uint64
+		rec Record
+	}
+	var all []seqRecord
+	release := t.rlockAll()
+	for _, sh := range t.shards {
+		for row := 0; row < sh.rows(); row++ {
+			all = append(all, seqRecord{sh.seq[row], sh.record(t, row)})
+		}
+	}
+	release()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]Record, len(all))
+	for i, sr := range all {
+		out[i] = sr.rec
 	}
 	return out
 }
 
 // Sources returns the distinct source names, sorted.
 func (t *Table) Sources() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	set := map[string]bool{}
-	for _, srcs := range t.lineage {
-		for s := range srcs {
-			set[s] = true
+	release := t.rlockAll()
+	for _, sh := range t.shards {
+		for _, srcs := range sh.lineage {
+			for _, s := range srcs {
+				set[s] = true
+			}
 		}
 	}
+	release()
 	out := make([]string, 0, len(set))
 	for s := range set {
 		out = append(out, s)
@@ -247,11 +417,65 @@ func (t *Table) Sources() []string {
 	return out
 }
 
+// SourceCounts returns, per source, how many entities it reported (exact
+// per-source contribution sizes over the whole table).
+func (t *Table) SourceCounts() map[string]int {
+	counts := map[string]int{}
+	release := t.rlockAll()
+	for _, sh := range t.shards {
+		for _, srcs := range sh.lineage {
+			for _, s := range srcs {
+				counts[s]++
+			}
+		}
+	}
+	release()
+	return counts
+}
+
 // ObservationCount returns how many sources reported the entity.
 func (t *Table) ObservationCount(entityID string) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.lineage[entityID])
+	sh := t.shardFor(entityID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	row, ok := sh.index[entityID]
+	if !ok {
+		return 0
+	}
+	return len(sh.lineage[row])
+}
+
+// rowData is one entity's snapshot view (persistence and tooling).
+type rowData struct {
+	ID      string
+	Attrs   map[string]sqlparse.Value
+	Sources []string
+}
+
+// rowsSnapshot returns every row (attrs, sorted sources) in insertion
+// order, under per-shard read locks.
+func (t *Table) rowsSnapshot() []rowData {
+	type seqRow struct {
+		seq uint64
+		row rowData
+	}
+	var all []seqRow
+	release := t.rlockAll()
+	for _, sh := range t.shards {
+		for row := 0; row < sh.rows(); row++ {
+			rec := sh.record(t, row)
+			srcs := make([]string, len(sh.lineage[row]))
+			copy(srcs, sh.lineage[row])
+			all = append(all, seqRow{sh.seq[row], rowData{ID: rec.EntityID, Attrs: rec.Attrs, Sources: srcs}})
+		}
+	}
+	release()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]rowData, len(all))
+	for i, sr := range all {
+		out[i] = sr.row
+	}
+	return out
 }
 
 // GroupSample is one group of a GROUP BY partition.
@@ -262,6 +486,159 @@ type GroupSample struct {
 	Sample *freqstats.Sample
 }
 
+// sampleRow is one kept row of a shard scan, carrying everything needed to
+// rebuild the observation multiset deterministically.
+type sampleRow struct {
+	seq   uint64
+	id    string
+	value float64
+	count int
+}
+
+// samplePart is one shard's contribution to a Sample.
+type samplePart struct {
+	rows       []sampleRow
+	srcCounts  map[string]int
+	numSources int
+}
+
+// scanShard filters one shard with the compiled predicate and collects the
+// kept rows. attrCol < 0 means COUNT(*)-style aggregation (value 0, NULLs
+// kept). The shard must be read-locked by the caller.
+func (t *Table) scanShard(sh *shard, attrCol int, prog *filterProgram) (*samplePart, error) {
+	n := sh.rows()
+	part := &samplePart{srcCounts: map[string]int{}}
+	if n == 0 {
+		return part, nil
+	}
+	sel := borrowBitmap(n)
+	defer releaseBitmap(sel)
+	sel.setAll()
+	if prog != nil {
+		out := borrowBitmap(n)
+		defer releaseBitmap(out)
+		if err := prog.eval(sh, sel, out); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+		}
+		sel.copyFrom(out)
+	}
+	err := sel.forEach(func(row int) error {
+		var value float64
+		if attrCol >= 0 {
+			col := &sh.cols[attrCol]
+			if !col.defined.get(row) || !col.valid.get(row) {
+				return nil // NULL attr: skipped, mirroring SQL aggregates
+			}
+			value = col.floats[row]
+		}
+		part.rows = append(part.rows, sampleRow{
+			seq:   sh.seq[row],
+			id:    sh.ids[row],
+			value: value,
+			count: len(sh.lineage[row]),
+		})
+		for _, src := range sh.lineage[row] {
+			part.srcCounts[src]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	part.numSources = len(part.srcCounts)
+	return part, nil
+}
+
+// mergeParts folds shard partials into one freqstats.Sample in global
+// insertion order, using the bulk builders so per-query map churn stays
+// proportional to the kept entities rather than the raw observations.
+func mergeParts(parts []*samplePart) (*freqstats.Sample, error) {
+	totalRows, totalSources := 0, 0
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		totalRows += len(p.rows)
+		totalSources += p.numSources
+	}
+	all := make([]sampleRow, 0, totalRows)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		all = append(all, p.rows...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	s := freqstats.NewSampleWithCapacity(totalRows, totalSources)
+	for _, r := range all {
+		if err := s.AddEntityObservations(r.id, r.value, r.count); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for src, n := range p.srcCounts {
+			s.AddSourceObservations(src, n)
+		}
+	}
+	return s, nil
+}
+
+// checkAggregateColumn resolves attr to a column index (-1 for COUNT(*)).
+func (t *Table) checkAggregateColumn(attr string) (int, error) {
+	if attr == "" {
+		return -1, nil
+	}
+	ci, ok := t.colIdx[attr]
+	if !ok {
+		return 0, fmt.Errorf("engine: %s: unknown column %q", t.name, attr)
+	}
+	if t.schema[ci].Type != TypeFloat {
+		return 0, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s)", t.name, attr, t.schema[ci].Type)
+	}
+	return ci, nil
+}
+
+// Sample builds the freqstats sample over the numeric attribute attr,
+// restricted to records satisfying the predicate (nil means all). Records
+// whose attr is NULL are skipped, mirroring SQL aggregate semantics. For
+// COUNT(*), pass attr == "" to aggregate with value 0 per entity. The scan
+// runs shard-parallel with the predicate compiled once into a vectorized
+// filter.
+func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, error) {
+	attrCol, err := t.checkAggregateColumn(attr)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compileFilter(t.schema, t.colIdx, where)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+	}
+	parts := make([]*samplePart, numShards)
+	release := t.rlockAll()
+	err = t.forEachShard(func(i int, sh *shard) error {
+		p, err := t.scanShard(sh, attrCol, prog)
+		if err != nil {
+			return err
+		}
+		parts[i] = p
+		return nil
+	})
+	release()
+	if err != nil {
+		return nil, err
+	}
+	return mergeParts(parts)
+}
+
+// groupPart is one shard's contribution to one GROUP BY group.
+type groupPart struct {
+	key  sqlparse.Value
+	part samplePart
+}
+
 // GroupedSamples partitions the table by the groupBy column and builds the
 // per-group observation sample over attr (as Sample does), restricted to
 // records satisfying the predicate. Groups are ordered by key (numbers
@@ -269,64 +646,117 @@ type GroupSample struct {
 // deterministic output. Records whose groupBy value is NULL form their own
 // group, mirroring SQL.
 func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]GroupSample, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if _, ok := t.schema.Column(groupBy); !ok {
+	groupCol, ok := t.colIdx[groupBy]
+	if !ok {
 		return nil, fmt.Errorf("engine: %s: unknown GROUP BY column %q", t.name, groupBy)
 	}
-	if attr != "" {
-		col, ok := t.schema.Column(attr)
-		if !ok {
-			return nil, fmt.Errorf("engine: %s: unknown column %q", t.name, attr)
-		}
-		if col.Type != TypeFloat {
-			return nil, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s)", t.name, attr, col.Type)
-		}
+	attrCol, err := t.checkAggregateColumn(attr)
+	if err != nil {
+		return nil, err
 	}
-	groups := map[string]*GroupSample{}
+	prog, err := compileFilter(t.schema, t.colIdx, where)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+	}
+	shardGroups := make([]map[string]*groupPart, numShards)
+	release := t.rlockAll()
+	err = t.forEachShard(func(i int, sh *shard) error {
+		g, err := t.scanShardGrouped(sh, attrCol, groupCol, prog)
+		if err != nil {
+			return err
+		}
+		shardGroups[i] = g
+		return nil
+	})
+	release()
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge per-shard groups by key.
+	merged := map[string][]*groupPart{}
 	var order []string
-	for _, id := range t.order {
-		rec := t.records[id]
-		if where != nil {
-			keep, err := sqlparse.Evaluate(where, rec)
-			if err != nil {
-				return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+	for _, groups := range shardGroups {
+		for keyStr, gp := range groups {
+			if _, seen := merged[keyStr]; !seen {
+				order = append(order, keyStr)
 			}
-			if !keep {
-				continue
-			}
-		}
-		key, ok := rec.Attrs[groupBy]
-		if !ok {
-			key = sqlparse.Null()
-		}
-		var value float64
-		if attr != "" {
-			v, ok := rec.Attrs[attr]
-			if !ok || v.Kind == sqlparse.ValueNull {
-				continue
-			}
-			value = v.Num
-		}
-		keyStr := groupKeyString(key)
-		g, exists := groups[keyStr]
-		if !exists {
-			g = &GroupSample{Key: key, Sample: freqstats.NewSample()}
-			groups[keyStr] = g
-			order = append(order, keyStr)
-		}
-		for src := range t.lineage[id] {
-			if err := g.Sample.Add(freqstats.Observation{EntityID: id, Value: value, Source: src}); err != nil {
-				return nil, err
-			}
+			merged[keyStr] = append(merged[keyStr], gp)
 		}
 	}
 	sort.Strings(order)
 	out := make([]GroupSample, 0, len(order))
-	for _, k := range order {
-		out = append(out, *groups[k])
+	for _, keyStr := range order {
+		gps := merged[keyStr]
+		parts := make([]*samplePart, len(gps))
+		for i, gp := range gps {
+			parts[i] = &gp.part
+		}
+		sample, err := mergeParts(parts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupSample{Key: gps[0].key, Sample: sample})
 	}
 	return out, nil
+}
+
+// scanShardGrouped is scanShard with a per-group partition step. The shard
+// must be read-locked by the caller.
+func (t *Table) scanShardGrouped(sh *shard, attrCol, groupCol int, prog *filterProgram) (map[string]*groupPart, error) {
+	n := sh.rows()
+	groups := map[string]*groupPart{}
+	if n == 0 {
+		return groups, nil
+	}
+	sel := borrowBitmap(n)
+	defer releaseBitmap(sel)
+	sel.setAll()
+	if prog != nil {
+		out := borrowBitmap(n)
+		defer releaseBitmap(out)
+		if err := prog.eval(sh, sel, out); err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+		}
+		sel.copyFrom(out)
+	}
+	err := sel.forEach(func(row int) error {
+		var value float64
+		if attrCol >= 0 {
+			col := &sh.cols[attrCol]
+			if !col.defined.get(row) || !col.valid.get(row) {
+				return nil
+			}
+			value = col.floats[row]
+		}
+		key, ok := sh.cols[groupCol].value(row)
+		if !ok {
+			key = sqlparse.Null()
+		}
+		keyStr := groupKeyString(key)
+		gp, exists := groups[keyStr]
+		if !exists {
+			gp = &groupPart{key: key, part: samplePart{srcCounts: map[string]int{}}}
+			groups[keyStr] = gp
+		}
+		gp.part.rows = append(gp.part.rows, sampleRow{
+			seq:   sh.seq[row],
+			id:    sh.ids[row],
+			value: value,
+			count: len(sh.lineage[row]),
+		})
+		for _, src := range sh.lineage[row] {
+			gp.part.srcCounts[src]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, gp := range groups {
+		gp.part.numSources = len(gp.part.srcCounts)
+	}
+	return groups, nil
 }
 
 // groupKeyString renders a group key with a kind prefix so sorted output
@@ -342,49 +772,4 @@ func groupKeyString(v sqlparse.Value) string {
 	default:
 		return "3:null"
 	}
-}
-
-// Sample builds the freqstats sample over the numeric attribute attr,
-// restricted to records satisfying the predicate (nil means all). Records
-// whose attr is NULL are skipped, mirroring SQL aggregate semantics. For
-// COUNT(*), pass attr == "" to aggregate with value 0 per entity.
-func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if attr != "" {
-		col, ok := t.schema.Column(attr)
-		if !ok {
-			return nil, fmt.Errorf("engine: %s: unknown column %q", t.name, attr)
-		}
-		if col.Type != TypeFloat {
-			return nil, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s)", t.name, attr, col.Type)
-		}
-	}
-	s := freqstats.NewSample()
-	for _, id := range t.order {
-		rec := t.records[id]
-		if where != nil {
-			keep, err := sqlparse.Evaluate(where, rec)
-			if err != nil {
-				return nil, fmt.Errorf("engine: %s: %w", t.name, err)
-			}
-			if !keep {
-				continue
-			}
-		}
-		var value float64
-		if attr != "" {
-			v, ok := rec.Attrs[attr]
-			if !ok || v.Kind == sqlparse.ValueNull {
-				continue
-			}
-			value = v.Num
-		}
-		for src := range t.lineage[id] {
-			if err := s.Add(freqstats.Observation{EntityID: id, Value: value, Source: src}); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return s, nil
 }

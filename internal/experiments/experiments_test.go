@@ -48,12 +48,27 @@ func TestAllOrdering(t *testing.T) {
 	}
 }
 
+// slowExperiments take a second or more even in quick mode (full synthetic
+// grids, Monte-Carlo-heavy sweeps). They are skipped under -short so the
+// tier-1 fast loop stays fast; full runs remain complete.
+var slowExperiments = map[string]bool{
+	"fig4":        true,
+	"fig5a":       true,
+	"fig5c":       true,
+	"fig6":        true,
+	"fig10":       true,
+	"ext-tracker": true,
+}
+
 // Every experiment must run in quick mode and produce well-formed output.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
+			if testing.Short() && slowExperiments[e.ID] {
+				t.Skipf("experiment %s is slow; run without -short", e.ID)
+			}
 			res, err := e.Run(Config{Seed: 1, Quick: true})
 			if err != nil {
 				t.Fatal(err)

@@ -42,6 +42,9 @@ func lastFinite(s Series) float64 {
 // Figure 4's ranking claim: at the end of the employment stream, the
 // bucket estimate is closer to the truth than the naive estimate.
 func TestFig4ShapeBucketBeatsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 replay is slow; run without -short")
+	}
 	res, err := registry["fig4"].Run(Config{Seed: 7, Points: 8, Quick: true})
 	if err != nil {
 		t.Fatal(err)

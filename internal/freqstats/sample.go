@@ -58,6 +58,25 @@ func NewSample() *Sample {
 	}
 }
 
+// NewSampleWithCapacity returns an empty sample presized for roughly the
+// given numbers of unique entities and sources, so bulk construction (the
+// engine's shard-merge path) avoids incremental map growth.
+func NewSampleWithCapacity(entities, sources int) *Sample {
+	if entities < 0 {
+		entities = 0
+	}
+	if sources < 0 {
+		sources = 0
+	}
+	return &Sample{
+		counts:  make(map[string]int, entities),
+		values:  make(map[string]float64, entities),
+		sources: make(map[string]int, sources),
+		order:   make([]string, 0, entities),
+		fstat:   make(map[int]int),
+	}
+}
+
 // Add records one observation. It returns an error if the entity was seen
 // before with a different value, which indicates the input was not cleaned
 // (entity resolution / fusion is a prerequisite of the model, paper
@@ -89,6 +108,52 @@ func (s *Sample) Add(obs Observation) error {
 			obs.EntityID, s.values[obs.EntityID], obs.Value)
 	}
 	return nil
+}
+
+// AddEntityObservations bulk-records that an entity was observed count
+// times with the given value, equivalent to count Add calls but with one
+// map update. Source contributions are tracked separately — pair with
+// AddSourceObservations so sum n_j stays equal to n. Re-adding a known
+// entity extends its count; a value conflict is reported like Add (first
+// value wins, observations still counted).
+func (s *Sample) AddEntityObservations(id string, value float64, count int) error {
+	s.ensureMaps()
+	if id == "" {
+		return fmt.Errorf("freqstats: observation with empty entity ID")
+	}
+	if count <= 0 {
+		return fmt.Errorf("freqstats: entity %q added with non-positive count %d", id, count)
+	}
+	prev := s.counts[id]
+	if prev == 0 {
+		s.values[id] = value
+		s.order = append(s.order, id)
+	}
+	s.counts[id] = prev + count
+	s.n += count
+	if prev > 0 {
+		s.fstat[prev]--
+		if s.fstat[prev] == 0 {
+			delete(s.fstat, prev)
+		}
+	}
+	s.fstat[prev+count]++
+	if prev > 0 && s.values[id] != value {
+		return fmt.Errorf("freqstats: entity %q observed with conflicting values %g and %g (input not cleaned)",
+			id, s.values[id], value)
+	}
+	return nil
+}
+
+// AddSourceObservations bulk-adds n observations to source src's
+// contribution size n_j. It does not touch the entity statistics; callers
+// doing bulk construction account for those via AddEntityObservations.
+func (s *Sample) AddSourceObservations(src string, n int) {
+	if n <= 0 {
+		return
+	}
+	s.ensureMaps()
+	s.sources[src] += n
 }
 
 // AddAll records all observations, stopping at the first error.

@@ -1,0 +1,50 @@
+// Package parallelx provides the one bounded parallel-for loop the
+// estimators share: an atomic work counter drained by a fixed set of
+// workers. Callers whose tasks derive independent state (for example
+// per-cell RNG streams via randx.Derive) get results independent of the
+// scheduling.
+package parallelx
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) on up to workers goroutines (the calling
+// goroutine included). workers < 1 or workers > n is clamped; with one
+// worker the loop runs inline. fn must handle its own synchronization for
+// any shared state beyond its own index.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -215,6 +215,13 @@ func likeMatch(pattern, s string) bool {
 	return likeRec(pattern, s)
 }
 
+// LikeMatch reports whether s matches the SQL LIKE pattern (% and _
+// wildcards, case-sensitive). Exported for compiled predicate evaluators
+// that bypass Evaluate.
+func LikeMatch(pattern, s string) bool {
+	return likeMatch(pattern, s)
+}
+
 func likeRec(p, s string) bool {
 	if p == "" {
 		return s == ""
