@@ -118,7 +118,21 @@ func BenchmarkColumnarIngestParallel(b *testing.B) {
 
 // BenchmarkColumnarFilteredSumScan is the vectorized path: compile the
 // predicate once, scan shards in parallel over typed vectors, bulk-build
-// the sample.
+// the sample — since the attribution change, including exact per-entity
+// per-source lineage in the built sample.
+//
+// Attribution overhead, recorded on the 1-CPU dev container (2.10GHz
+// Xeon, benchtime=2s, best of 3):
+//
+//	                         without attribution   with attribution
+//	FilteredSumScan              6.36 ms/op            6.22 ms/op
+//	GroupByScan                  6.92 ms/op            6.18 ms/op
+//
+// Exact attribution is free (slightly negative cost) end to end: the scan
+// stopped hashing a source-name string per observation when lineage moved
+// to table-interned int32 IDs, which more than pays for copying lineage
+// into the sample. The isolated freqstats-level cost of carrying
+// attribution is measured in internal/freqstats/bench_test.go.
 func BenchmarkColumnarFilteredSumScan(b *testing.B) {
 	_, tbl := buildColumnarBenchTable(b)
 	pred := benchPredicate(b)

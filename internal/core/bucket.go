@@ -107,7 +107,11 @@ type BucketStrategy interface {
 }
 
 // rangeSample restricts s to entities with value in [lo, hi) — or [lo, hi]
-// when last is true — and wraps it in a BucketResult.
+// when last is true — and wraps it in a BucketResult. The restriction
+// carries per-entity source attribution with it, so a bucket's sub-sample
+// reports the exact per-source sizes n_j of its value range: an inner
+// Monte-Carlo estimator (or a streaker diagnosis) sees the true per-range
+// source profile, including sources concentrated in a single range.
 func rangeSample(s *freqstats.Sample, inner SumEstimator, lo, hi float64, last bool) BucketResult {
 	sub := s.Filter(func(_ string, v float64) bool {
 		if last {
@@ -262,14 +266,18 @@ func costSum(bs []BucketResult) float64 {
 
 // bestSplit searches every unique attribute value in b as a split point
 // and returns the sub-bucket pair minimizing rest + cost(t1) + cost(t2),
-// provided it strictly improves on keeping b whole. With the default Naive
-// inner estimator the candidate costs are computed by an O(unique values)
-// prefix-statistics sweep instead of materializing two filtered samples
-// per candidate, which turns the dynamic strategy from quadratic to
-// near-linear on large buckets; only the winning split is materialized.
+// provided it strictly improves on keeping b whole. With the Naive or
+// Frequency inner estimators the candidate costs are computed by an
+// O(unique values) prefix-statistics sweep instead of materializing two
+// filtered samples per candidate, which turns the dynamic strategy from
+// quadratic to near-linear on large buckets; only the winning split is
+// materialized.
 func bestSplit(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResult, bool) {
-	if _, isNaive := inner.(Naive); isNaive {
-		return bestSplitNaiveSweep(b, inner, rest)
+	switch inner.(type) {
+	case Naive:
+		return bestSplitSweep(b, inner, rest, naiveSplitCost)
+	case Frequency:
+		return bestSplitSweep(b, inner, rest, freqSplitCost)
 	}
 	uniq := uniqueSortedValues(b.Sample)
 	if len(uniq) < 2 {
@@ -295,12 +303,41 @@ func bestSplit(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResul
 }
 
 // sideStats are the aggregates one side of a candidate split needs to
-// reproduce Naive{}.EstimateSum exactly: Chao92 reads only n, c, f1 and
-// sum_j j(j-1) f_j, and mean substitution additionally reads sum(values).
+// reproduce Naive{}.EstimateSum and Frequency{}.EstimateSum exactly:
+// Chao92 reads only n, c, f1 and sum_j j(j-1) f_j; mean substitution
+// additionally reads sum(values), and singleton-mean substitution reads
+// the sum of values over singletons.
 type sideStats struct {
 	n, c, f1 int
-	s2       int // sum over entities of count*(count-1) == sum_j j(j-1) f_j
-	sum      float64
+	s2       int     // sum over entities of count*(count-1) == sum_j j(j-1) f_j
+	sum      float64 // sum of values over all entities
+	f1sum    float64 // sum of values over the singleton entities (phi_f1)
+}
+
+// chao92FromStats replays species.Chao92's count estimate on aggregates.
+// ok is false when the side is degenerate: empty (cost 0) or pure
+// singletons (diverged, cost Inf); the caller maps that via divergedCost.
+func chao92FromStats(st sideStats) (nHat, divergedCost float64, ok bool) {
+	n, c := st.n, st.c
+	if n == 0 || c == 0 {
+		return 0, 0, false // invalid estimate: Delta stays 0, mirroring EstimateSum
+	}
+	cov := 1 - float64(st.f1)/float64(n)
+	if cov <= 0 {
+		return 0, math.Inf(1), false // diverged: pure singletons
+	}
+	var cv2 float64
+	if n >= 2 {
+		cv2 = float64(c)/cov*float64(st.s2)/(float64(n)*float64(n-1)) - 1
+		if cv2 < 0 {
+			cv2 = 0
+		}
+	}
+	nHat = float64(c)/cov + float64(n)*(1-cov)/cov*cv2
+	if nHat < float64(c) {
+		nHat = float64(c)
+	}
+	return nHat, 0, true
 }
 
 // naiveSplitCost replays the Naive-inner splitCost on aggregates: Inf for
@@ -311,36 +348,42 @@ type sideStats struct {
 // can differ from the materialized bucket's by float rounding; this only
 // matters for exact cost ties.)
 func naiveSplitCost(st sideStats) float64 {
-	n, c := st.n, st.c
-	if n == 0 || c == 0 {
-		return 0 // invalid estimate: Delta stays 0, mirroring EstimateSum
+	nHat, cost, ok := chao92FromStats(st)
+	if !ok {
+		return cost
 	}
-	cov := 1 - float64(st.f1)/float64(n)
-	if cov <= 0 {
-		return math.Inf(1) // diverged: pure singletons
-	}
-	var cv2 float64
-	if n >= 2 {
-		cv2 = float64(c)/cov*float64(st.s2)/(float64(n)*float64(n-1)) - 1
-		if cv2 < 0 {
-			cv2 = 0
-		}
-	}
-	nHat := float64(c)/cov + float64(n)*(1-cov)/cov*cv2
-	if nHat < float64(c) {
-		nHat = float64(c)
-	}
-	delta := st.sum / float64(c) * (nHat - float64(c))
+	delta := st.sum / float64(st.c) * (nHat - float64(st.c))
 	if math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return math.Inf(1) // finishEstimate flags this Diverged
 	}
 	return math.Abs(delta)
 }
 
-// bestSplitNaiveSweep scans candidate split points left to right over the
+// freqSplitCost replays the Frequency-inner splitCost on aggregates,
+// mirroring Frequency.EstimateSum: singleton-mean substitution
+// phi_f1/f1 * (N-hat - c), with Delta 0 when the side has no singletons
+// (the sample looks complete to the frequency estimator) and Inf when it
+// is all singletons (diverged).
+func freqSplitCost(st sideStats) float64 {
+	nHat, cost, ok := chao92FromStats(st)
+	if !ok {
+		return cost
+	}
+	if st.f1 == 0 {
+		return 0
+	}
+	delta := st.f1sum / float64(st.f1) * (nHat - float64(st.c))
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(delta)
+}
+
+// bestSplitSweep scans candidate split points left to right over the
 // bucket's value-sorted entities, maintaining both sides' statistics
-// incrementally, and materializes only the winning split.
-func bestSplitNaiveSweep(b BucketResult, inner SumEstimator, rest float64) ([2]BucketResult, bool) {
+// incrementally and pricing each side with cost, and materializes only the
+// winning split.
+func bestSplitSweep(b BucketResult, inner SumEstimator, rest float64, cost func(sideStats) float64) ([2]BucketResult, bool) {
 	s := b.Sample
 	ids := s.Entities()
 	type entity struct {
@@ -365,11 +408,17 @@ func bestSplitNaiveSweep(b BucketResult, inner SumEstimator, rest float64) ([2]B
 		}
 		st.s2 += sign * e.count * (e.count - 1)
 	}
-	// The right side's sum is accumulated right-to-left (not derived by
-	// subtraction) so both sides' sums are plain forward float additions.
+	// The right side's sums (total and singleton) are accumulated
+	// right-to-left (not derived by subtraction) so both sides' sums are
+	// plain forward float additions.
 	suffixSum := make([]float64, len(ents)+1)
+	suffixF1Sum := make([]float64, len(ents)+1)
 	for i := len(ents) - 1; i >= 0; i-- {
 		suffixSum[i] = suffixSum[i+1] + ents[i].value
+		suffixF1Sum[i] = suffixF1Sum[i+1]
+		if ents[i].count == 1 {
+			suffixF1Sum[i] += ents[i].value
+		}
 	}
 	var left sideStats
 	var right sideStats
@@ -377,6 +426,7 @@ func bestSplitNaiveSweep(b BucketResult, inner SumEstimator, rest float64) ([2]B
 		accumulate(&right, e, 1)
 	}
 	right.sum = suffixSum[0]
+	right.f1sum = suffixF1Sum[0]
 
 	deltaMin := rest + splitCost(b) // current total; splits must beat this
 	bestValue := 0.0
@@ -385,14 +435,18 @@ func bestSplitNaiveSweep(b BucketResult, inner SumEstimator, rest float64) ([2]B
 		e := ents[i-1]
 		accumulate(&left, e, 1)
 		left.sum += e.value
+		if e.count == 1 {
+			left.f1sum += e.value
+		}
 		accumulate(&right, e, -1)
 		right.sum = suffixSum[i]
+		right.f1sum = suffixF1Sum[i]
 		if ents[i].value == e.value {
 			continue // not a boundary between unique values
 		}
 		// Candidate split at v = ents[i].value: left covers [b.Lo, v),
 		// right covers [v, b.Hi]. Both sides are non-empty by construction.
-		cand := rest + naiveSplitCost(left) + naiveSplitCost(right)
+		cand := rest + cost(left) + cost(right)
 		if deltaMin > cand {
 			deltaMin = cand
 			bestValue = ents[i].value

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/freqstats"
@@ -228,6 +229,48 @@ func TestBucketWithFrequencyInner(t *testing.T) {
 	}
 	if math.IsNaN(est.Delta) || math.IsInf(est.Delta, 0) {
 		t.Errorf("Delta = %g", est.Delta)
+	}
+}
+
+// materializedInner hides the inner estimator's concrete type so bestSplit
+// takes the generic path that materializes two filtered samples per
+// candidate — the reference the prefix-statistics sweep must reproduce.
+type materializedInner struct{ SumEstimator }
+
+// TestSweepMatchesMaterializedSplit: the O(unique values) sweep must pick
+// the same dynamic buckets as the materializing reference path, for both
+// inners it covers (Naive and, with per-side singleton value sums,
+// Frequency). Integer values keep both paths' float accumulation exact, so
+// the comparison is equality, not tolerance.
+func TestSweepMatchesMaterializedSplit(t *testing.T) {
+	for _, inner := range []SumEstimator{Naive{}, Frequency{}} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			s := freqstats.NewSample()
+			for e := 0; e < 40; e++ {
+				id := fmt.Sprintf("e%d", e)
+				v := float64(rng.Intn(20) * 10)
+				for k := 0; k <= rng.Intn(4); k++ {
+					mustAdd(t, s, id, v, fmt.Sprintf("s%d", rng.Intn(6)))
+				}
+			}
+			fast := Dynamic{}.Split(s, inner)
+			ref := Dynamic{}.Split(s, materializedInner{inner})
+			if len(fast) != len(ref) {
+				t.Fatalf("%s seed %d: sweep found %d buckets, reference %d",
+					inner.Name(), seed, len(fast), len(ref))
+			}
+			for i := range fast {
+				if fast[i].Lo != ref[i].Lo || fast[i].Hi != ref[i].Hi {
+					t.Errorf("%s seed %d bucket %d: sweep [%g,%g) vs reference [%g,%g)",
+						inner.Name(), seed, i, fast[i].Lo, fast[i].Hi, ref[i].Lo, ref[i].Hi)
+				}
+				if fast[i].Est.Delta != ref[i].Est.Delta {
+					t.Errorf("%s seed %d bucket %d: Delta %g vs %g",
+						inner.Name(), seed, i, fast[i].Est.Delta, ref[i].Est.Delta)
+				}
+			}
+		}
 	}
 }
 

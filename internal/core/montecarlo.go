@@ -17,7 +17,9 @@ import (
 // (which breaks down with few sources or streakers), it simulates the
 // actual per-source sampling process: for candidate parameters
 // theta = (N-hat, lambda) it draws each source's n_j items without
-// replacement from an exponential-publicity population of size N-hat,
+// replacement from an exponential-publicity population of size N-hat
+// (the n_j are exact for any sub-population — WHERE, GROUP BY group or
+// bucket value range — because the sample carries per-entity attribution),
 // compares the simulated occurrence profile against the observed one with
 // KL divergence (Algorithm 2), grid-searches theta over
 // [c, N-hat_Chao92] x [-0.4, 0.4], fits a quadratic surface to the

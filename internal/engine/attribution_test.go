@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/freqstats"
+	"repro/internal/sqlparse"
+)
+
+// The whole engine test binary runs with the merge-time self-check on:
+// every query any engine test issues re-verifies the full sample
+// invariants, including sum_j n_j == n attribution exactness.
+func init() { selfCheck = true }
+
+// rawInsert is one recorded Insert call, so tables can be rebuilt in
+// arbitrary orders and samples rebuilt from first principles.
+type rawInsert struct {
+	entity string
+	source string
+	attrs  map[string]sqlparse.Value
+}
+
+// seededInserts generates a deterministic integration workload: entities
+// with values and a group column, reported by overlapping subsets of
+// sources, including NULL and missing attribute rows and one source
+// ("hog") concentrated entirely in the high value range.
+func seededInserts(seed int64) []rawInsert {
+	rng := rand.New(rand.NewSource(seed))
+	var out []rawInsert
+	for e := 0; e < 120; e++ {
+		id := fmt.Sprintf("e%03d", e)
+		v := float64(e % 100)
+		attrs := map[string]sqlparse.Value{
+			"v": sqlparse.Number(v),
+			"g": sqlparse.StringValue(fmt.Sprintf("g%d", e%3)),
+		}
+		switch e % 17 {
+		case 5:
+			attrs["v"] = sqlparse.Null() // NULL attr: excluded from the sample
+		case 11:
+			attrs["g"] = sqlparse.Null() // NULL group: forms its own group
+		}
+		reporters := 1 + rng.Intn(4)
+		for r := 0; r < reporters; r++ {
+			out = append(out, rawInsert{id, fmt.Sprintf("s%d", rng.Intn(6)), attrs})
+		}
+		if v >= 80 {
+			out = append(out, rawInsert{id, "hog", attrs})
+		}
+	}
+	return out
+}
+
+func tableFromInserts(t *testing.T, name string, ins []rawInsert) *Table {
+	t.Helper()
+	tbl, err := NewTable(name, Schema{
+		{Name: "v", Type: TypeFloat},
+		{Name: "g", Type: TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ins {
+		if err := tbl.Insert(r.entity, r.source, r.attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// bruteContributions rebuilds the expected per-source sizes for the
+// sub-population (predicate + non-NULL attr + optional group key) straight
+// from the table's raw lineage snapshot.
+func bruteContributions(t *testing.T, tbl *Table, where sqlparse.Expr, groupKey *sqlparse.Value) (map[string]int, int) {
+	t.Helper()
+	want := map[string]int{}
+	n := 0
+	for _, row := range tbl.rowsSnapshot() {
+		rec := Record{EntityID: row.ID, Attrs: row.Attrs}
+		if where != nil {
+			keep, err := sqlparse.Evaluate(where, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !keep {
+				continue
+			}
+		}
+		v, ok := row.Attrs["v"]
+		if !ok || v.Kind == sqlparse.ValueNull {
+			continue
+		}
+		if groupKey != nil {
+			g, ok := row.Attrs["g"]
+			if !ok {
+				g = sqlparse.Null()
+			}
+			if g != *groupKey {
+				continue
+			}
+		}
+		for _, src := range row.Sources {
+			want[src]++
+			n++
+		}
+	}
+	return want, n
+}
+
+func sameContributions(got, want map[string]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for name, nj := range want {
+		if got[name] != nj {
+			return false
+		}
+	}
+	return true
+}
+
+var parityPredicates = []string{
+	"", // no WHERE
+	"v < 50",
+	"v >= 30 AND v < 70",
+	"g = 'g1' OR v < 20",
+	"v >= 80",                // the hog source's exclusive range
+	"v >= 1000 AND v < 2000", // empty sub-population
+}
+
+func parsePred(t *testing.T, s string) sqlparse.Expr {
+	t.Helper()
+	if s == "" {
+		return nil
+	}
+	pred, err := sqlparse.ParsePredicate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+// TestSampleSourceSizeParity asserts that filtered samples report exactly
+// the per-source sizes a brute-force rebuild from raw lineage produces,
+// for every predicate.
+func TestSampleSourceSizeParity(t *testing.T) {
+	tbl := tableFromInserts(t, "parity", seededInserts(1))
+	for _, ps := range parityPredicates {
+		where := parsePred(t, ps)
+		s, err := tbl.Sample("v", where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Errorf("pred %q: %v", ps, err)
+		}
+		want, wantN := bruteContributions(t, tbl, where, nil)
+		if s.N() != wantN {
+			t.Errorf("pred %q: sample n = %d, brute force %d", ps, s.N(), wantN)
+		}
+		if got := s.SourceContributions(); !sameContributions(got, want) {
+			t.Errorf("pred %q: source contributions = %v, want %v", ps, got, want)
+		}
+	}
+}
+
+// TestGroupedSampleSourceSizeParity does the same per GROUP BY group.
+func TestGroupedSampleSourceSizeParity(t *testing.T) {
+	tbl := tableFromInserts(t, "parity", seededInserts(2))
+	for _, ps := range parityPredicates {
+		where := parsePred(t, ps)
+		groups, err := tbl.GroupedSamples("v", "g", where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range groups {
+			key := g.Key
+			want, wantN := bruteContributions(t, tbl, where, &key)
+			if g.Sample.N() != wantN {
+				t.Errorf("pred %q group %v: n = %d, brute force %d", ps, key, g.Sample.N(), wantN)
+			}
+			if got := g.Sample.SourceContributions(); !sameContributions(got, want) {
+				t.Errorf("pred %q group %v: contributions = %v, want %v", ps, key, got, want)
+			}
+			if err := g.Sample.CheckInvariants(); err != nil {
+				t.Errorf("pred %q group %v: %v", ps, key, err)
+			}
+		}
+	}
+}
+
+// TestSampleParityAcrossInsertOrders asserts that per-source sizes do not
+// depend on the order observations arrived (and therefore not on which
+// shard-merge order the scan happens to produce).
+func TestSampleParityAcrossInsertOrders(t *testing.T) {
+	ins := seededInserts(3)
+	orders := map[string][]rawInsert{"forward": ins}
+	rev := make([]rawInsert, len(ins))
+	for i, r := range ins {
+		rev[len(ins)-1-i] = r
+	}
+	orders["reversed"] = rev
+	shuf := make([]rawInsert, len(ins))
+	copy(shuf, ins)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+	orders["shuffled"] = shuf
+
+	where := parsePred(t, "v >= 30 AND v < 90")
+	var reference map[string]int
+	for name, order := range orders {
+		tbl := tableFromInserts(t, "t", order)
+		s, err := tbl.Sample("v", where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.SourceContributions()
+		if reference == nil {
+			reference = got
+			continue
+		}
+		if !sameContributions(got, reference) {
+			t.Errorf("order %q: contributions = %v, want %v", name, got, reference)
+		}
+	}
+}
+
+// TestSampleAttributionUnderConcurrentInserts races queries against
+// writers; every returned sample must satisfy the full attribution
+// invariants (sum_j n_j == n, per-entity attribution sums match).
+func TestSampleAttributionUnderConcurrentInserts(t *testing.T) {
+	tbl := tableFromInserts(t, "conc", seededInserts(4)[:50])
+	where := parsePred(t, "v < 80")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("w%04d", i%500)
+			attrs := map[string]sqlparse.Value{"v": sqlparse.Number(float64(i % 100))}
+			if err := tbl.Insert(id, fmt.Sprintf("s%d", rng.Intn(6)), attrs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for q := 0; q < 50; q++ {
+		s, err := tbl.Sample("v", where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStreakerNotSuspectedOnEmptySample: "no records match" must not claim
+// a streaker and steer Best toward the Monte-Carlo estimator.
+func TestStreakerNotSuspectedOnEmptySample(t *testing.T) {
+	r := &Result{Sample: freqstats.NewSample()}
+	if r.streakerSuspected() {
+		t.Error("empty sample reported a streaker")
+	}
+
+	tbl := tableFromInserts(t, "empty", seededInserts(5))
+	db := &DB{}
+	db.tables = map[string]*Table{"empty": tbl}
+	res, err := db.Query("SELECT SUM(v) FROM empty WHERE v >= 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.streakerSuspected() {
+		t.Error("empty query result reported a streaker")
+	}
+	if _, name, ok := res.Best(); ok && name == "mc" {
+		t.Errorf("Best picked %q for an empty result; the streaker heuristic should not fire", name)
+	}
+}

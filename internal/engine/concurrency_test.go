@@ -142,7 +142,7 @@ func TestConcurrentShardedIngestAndQuery(t *testing.T) {
 					return
 				}
 				_ = tbl.NumObservations()
-				_ = tbl.SourceCounts()
+				_ = tbl.Sources()
 				_ = tbl.Records()
 			}
 		}()

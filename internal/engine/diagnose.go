@@ -67,9 +67,11 @@ func Diagnose(t *Table, attr string) (*Diagnosis, error) {
 		d.EstimatedTotal = est.N
 	}
 
-	// Per-source shares from the table's lineage (exact, unlike the
-	// scaled approximation in Sample.Filter).
-	counts := t.SourceCounts()
+	// Per-source shares straight from the sample's attribution — the same
+	// exact per-source sizes every estimator sees, restricted to the
+	// diagnosed attribute's sub-population (rows whose attr is NULL are
+	// excluded from the sample, so shares and |S| describe one population).
+	counts := sample.SourceContributions()
 	for s, c := range counts {
 		share := 0.0
 		if d.Observations > 0 {

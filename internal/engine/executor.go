@@ -145,13 +145,15 @@ func (r *Result) streakerSuspected() bool {
 	if r.Sample == nil {
 		return false
 	}
+	n := r.Sample.N()
+	if n == 0 {
+		// An empty sub-population has no source profile at all; "no records
+		// match" must not claim a streaker (and steer Best toward MC).
+		return false
+	}
 	sizes := r.Sample.SourceSizes()
 	if len(sizes) < MinSourcesForBalance {
 		return true // too few sources: with-replacement approximation is off
-	}
-	n := r.Sample.N()
-	if n == 0 {
-		return false
 	}
 	maxSize := 0
 	for _, s := range sizes {

@@ -166,7 +166,7 @@ type shard struct {
 	index   map[string]int
 	seq     []uint64
 	cols    []colVector
-	lineage [][]string // per-row sorted source names (the source multiset)
+	lineage [][]int32 // per-row sorted table-interned source IDs (the source multiset)
 	nObs    int
 }
 
@@ -183,6 +183,14 @@ type Table struct {
 	colIdx map[string]int
 	shards [numShards]*shard
 	seq    atomic.Uint64
+
+	// Source registry: source names are interned once per table into dense
+	// int32 IDs, so lineage rows are small integer vectors and query scans
+	// attribute observations to sources without hashing a string per
+	// observation. The registry only grows.
+	srcMu    sync.RWMutex
+	srcIDs   map[string]int32
+	srcNames []string
 }
 
 // NewTable creates an empty table with the given schema. The schema must
@@ -204,7 +212,7 @@ func NewTable(name string, schema Schema) (*Table, error) {
 		}
 		colIdx[c.Name] = i
 	}
-	t := &Table{name: name, schema: schema, colIdx: colIdx}
+	t := &Table{name: name, schema: schema, colIdx: colIdx, srcIDs: make(map[string]int32)}
 	for i := range t.shards {
 		sh := &shard{index: make(map[string]int), cols: make([]colVector, len(schema))}
 		for ci, c := range schema {
@@ -220,6 +228,37 @@ func (t *Table) Name() string { return t.name }
 
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.schema }
+
+// internSource returns the table-global ID for a source name, registering
+// it on first use. It takes the registry lock only, never a shard lock, so
+// it can be called on the insert path before the shard is locked.
+func (t *Table) internSource(name string) int32 {
+	t.srcMu.RLock()
+	id, ok := t.srcIDs[name]
+	t.srcMu.RUnlock()
+	if ok {
+		return id
+	}
+	t.srcMu.Lock()
+	defer t.srcMu.Unlock()
+	if id, ok := t.srcIDs[name]; ok {
+		return id
+	}
+	id = int32(len(t.srcNames))
+	t.srcIDs[name] = id
+	t.srcNames = append(t.srcNames, name)
+	return id
+}
+
+// sourceNameTable returns a point-in-time copy of the ID -> name table.
+// IDs below the returned length are stable forever.
+func (t *Table) sourceNameTable() []string {
+	t.srcMu.RLock()
+	defer t.srcMu.RUnlock()
+	out := make([]string, len(t.srcNames))
+	copy(out, t.srcNames)
+	return out
+}
 
 // shardFor hashes an entity ID to its shard (FNV-1a).
 func (t *Table) shardFor(entityID string) *shard {
@@ -285,6 +324,7 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 	if source == "" {
 		return fmt.Errorf("engine: %s: empty source", t.name)
 	}
+	sid := t.internSource(source)
 	sh := t.shardFor(entityID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -304,14 +344,14 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 		sh.lineage = append(sh.lineage, nil)
 	}
 	srcs := sh.lineage[row]
-	pos := sort.SearchStrings(srcs, source)
-	if pos < len(srcs) && srcs[pos] == source {
+	pos := sort.Search(len(srcs), func(i int) bool { return srcs[i] >= sid })
+	if pos < len(srcs) && srcs[pos] == sid {
 		// Idempotent: one source mentions an entity once.
 		return nil
 	}
-	srcs = append(srcs, "")
+	srcs = append(srcs, 0)
 	copy(srcs[pos+1:], srcs[pos:])
-	srcs[pos] = source
+	srcs[pos] = sid
 	sh.lineage[row] = srcs
 	sh.nObs++
 	if exists {
@@ -397,40 +437,37 @@ func (t *Table) Records() []Record {
 	return out
 }
 
-// Sources returns the distinct source names, sorted.
-func (t *Table) Sources() []string {
-	set := map[string]bool{}
+// sourceIDCounts tallies, per table-global source ID, how many entities
+// each source reported, under per-shard read locks. The name table is
+// snapshotted while the shard locks are held: a source is always interned
+// before its first lineage write, so every ID seen in lineage resolves.
+func (t *Table) sourceIDCounts() (counts []int, names []string) {
 	release := t.rlockAll()
+	names = t.sourceNameTable()
+	counts = make([]int, len(names))
 	for _, sh := range t.shards {
 		for _, srcs := range sh.lineage {
-			for _, s := range srcs {
-				set[s] = true
+			for _, sid := range srcs {
+				counts[sid]++
 			}
 		}
 	}
 	release()
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
+	return counts, names
+}
+
+// Sources returns the distinct source names with at least one lineage
+// mention, sorted.
+func (t *Table) Sources() []string {
+	counts, names := t.sourceIDCounts()
+	out := make([]string, 0, len(names))
+	for sid, c := range counts {
+		if c > 0 {
+			out = append(out, names[sid])
+		}
 	}
 	sort.Strings(out)
 	return out
-}
-
-// SourceCounts returns, per source, how many entities it reported (exact
-// per-source contribution sizes over the whole table).
-func (t *Table) SourceCounts() map[string]int {
-	counts := map[string]int{}
-	release := t.rlockAll()
-	for _, sh := range t.shards {
-		for _, srcs := range sh.lineage {
-			for _, s := range srcs {
-				counts[s]++
-			}
-		}
-	}
-	release()
-	return counts
 }
 
 // ObservationCount returns how many sources reported the entity.
@@ -461,11 +498,15 @@ func (t *Table) rowsSnapshot() []rowData {
 	}
 	var all []seqRow
 	release := t.rlockAll()
+	names := t.sourceNameTable()
 	for _, sh := range t.shards {
 		for row := 0; row < sh.rows(); row++ {
 			rec := sh.record(t, row)
 			srcs := make([]string, len(sh.lineage[row]))
-			copy(srcs, sh.lineage[row])
+			for i, sid := range sh.lineage[row] {
+				srcs[i] = names[sid]
+			}
+			sort.Strings(srcs)
 			all = append(all, seqRow{sh.seq[row], rowData{ID: rec.EntityID, Attrs: rec.Attrs, Sources: srcs}})
 		}
 	}
@@ -487,27 +528,51 @@ type GroupSample struct {
 }
 
 // sampleRow is one kept row of a shard scan, carrying everything needed to
-// rebuild the observation multiset deterministically.
+// rebuild the observation multiset — including the row's lineage, as an
+// offset range into its part's srcBuf arena — deterministically.
 type sampleRow struct {
-	seq   uint64
-	id    string
-	value float64
-	count int
+	seq    uint64
+	id     string
+	value  float64
+	srcOff int32 // start of the row's lineage in the part's srcBuf
+	srcLen int32 // number of lineage sources
 }
 
-// samplePart is one shard's contribution to a Sample.
+// samplePart is one shard's contribution to a Sample. Lineage is copied
+// out of the shard (the shard's own rows can be mutated by later inserts
+// once the scan's read lock is released) into one arena per part — no
+// per-observation string hashing, no per-part source tallies.
 type samplePart struct {
-	rows       []sampleRow
-	srcCounts  map[string]int
-	numSources int
+	rows   []sampleRow
+	srcBuf []int32 // arena of per-row lineage (table-global source IDs)
+}
+
+// lineage returns row r's source IDs (a view into the part's arena).
+func (p *samplePart) lineage(r sampleRow) []int32 {
+	return p.srcBuf[r.srcOff : r.srcOff+r.srcLen]
+}
+
+// keepRow appends one kept row (and its lineage copy) to the part.
+func (p *samplePart) keepRow(sh *shard, row int, value float64) {
+	srcs := sh.lineage[row]
+	off := int32(len(p.srcBuf))
+	p.srcBuf = append(p.srcBuf, srcs...)
+	p.rows = append(p.rows, sampleRow{
+		seq:    sh.seq[row],
+		id:     sh.ids[row],
+		value:  value,
+		srcOff: off,
+		srcLen: int32(len(srcs)),
+	})
 }
 
 // scanShard filters one shard with the compiled predicate and collects the
-// kept rows. attrCol < 0 means COUNT(*)-style aggregation (value 0, NULLs
-// kept). The shard must be read-locked by the caller.
+// kept rows with their lineage. attrCol < 0 means COUNT(*)-style
+// aggregation (value 0, NULLs kept). The shard must be read-locked by the
+// caller.
 func (t *Table) scanShard(sh *shard, attrCol int, prog *filterProgram) (*samplePart, error) {
 	n := sh.rows()
-	part := &samplePart{srcCounts: map[string]int{}}
+	part := &samplePart{}
 	if n == 0 {
 		return part, nil
 	}
@@ -531,60 +596,81 @@ func (t *Table) scanShard(sh *shard, attrCol int, prog *filterProgram) (*sampleP
 			}
 			value = col.floats[row]
 		}
-		part.rows = append(part.rows, sampleRow{
-			seq:   sh.seq[row],
-			id:    sh.ids[row],
-			value: value,
-			count: len(sh.lineage[row]),
-		})
-		for _, src := range sh.lineage[row] {
-			part.srcCounts[src]++
-		}
+		part.keepRow(sh, row, value)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	part.numSources = len(part.srcCounts)
 	return part, nil
 }
 
 // mergeParts folds shard partials into one freqstats.Sample in global
-// insertion order, using the bulk builders so per-query map churn stays
-// proportional to the kept entities rather than the raw observations.
-func mergeParts(parts []*samplePart) (*freqstats.Sample, error) {
-	totalRows, totalSources := 0, 0
+// insertion order, using the bulk builder so per-query map churn stays
+// proportional to the kept entities rather than the raw observations. Every
+// kept row carries its lineage, so the sample's per-entity attribution —
+// and with it the per-source sizes n_j — is exact for any predicate. names
+// is the table's source-ID -> name snapshot from the scan.
+func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) {
+	type partRow struct {
+		row  sampleRow
+		part *samplePart
+	}
+	totalRows, totalObs := 0, 0
 	for _, p := range parts {
 		if p == nil {
 			continue
 		}
 		totalRows += len(p.rows)
-		totalSources += p.numSources
+		totalObs += len(p.srcBuf)
 	}
-	all := make([]sampleRow, 0, totalRows)
+	all := make([]partRow, 0, totalRows)
 	for _, p := range parts {
 		if p == nil {
 			continue
 		}
-		all = append(all, p.rows...)
+		for _, r := range p.rows {
+			all = append(all, partRow{row: r, part: p})
+		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
-	s := freqstats.NewSampleWithCapacity(totalRows, totalSources)
-	for _, r := range all {
-		if err := s.AddEntityObservations(r.id, r.value, r.count); err != nil {
+	sort.Slice(all, func(i, j int) bool { return all[i].row.seq < all[j].row.seq })
+	s := freqstats.NewSampleWithCapacity(totalRows, len(names), totalObs)
+	// trans lazily maps table-global source IDs to sample-local ones, so
+	// the sample only interns sources that actually contributed kept
+	// observations.
+	trans := make([]int32, len(names))
+	for i := range trans {
+		trans[i] = -1
+	}
+	scratch := make([]int32, 0, 16)
+	for _, pr := range all {
+		scratch = scratch[:0]
+		for _, sid := range pr.part.lineage(pr.row) {
+			local := trans[sid]
+			if local < 0 {
+				local = s.InternSource(names[sid])
+				trans[sid] = local
+			}
+			scratch = append(scratch, local)
+		}
+		if err := s.AddEntityObservations(pr.row.id, pr.row.value, scratch); err != nil {
 			return nil, err
 		}
 	}
-	for _, p := range parts {
-		if p == nil {
-			continue
-		}
-		for src, n := range p.srcCounts {
-			s.AddSourceObservations(src, n)
+	if selfCheck {
+		if err := s.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("engine: merged sample failed self-check: %w", err)
 		}
 	}
 	return s, nil
 }
+
+// selfCheck gates a full freqstats.Sample.CheckInvariants pass — including
+// the sum_j n_j == n attribution-exactness invariant — on every merged
+// scan result. The engine's test binary turns it on (see
+// attribution_test.go), so every query any engine test issues re-verifies
+// the invariants; production queries skip the O(n) re-verification.
+var selfCheck = false
 
 // checkAggregateColumn resolves attr to a column index (-1 for COUNT(*)).
 func (t *Table) checkAggregateColumn(attr string) (int, error) {
@@ -618,6 +704,7 @@ func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, err
 	}
 	parts := make([]*samplePart, numShards)
 	release := t.rlockAll()
+	names := t.sourceNameTable()
 	err = t.forEachShard(func(i int, sh *shard) error {
 		p, err := t.scanShard(sh, attrCol, prog)
 		if err != nil {
@@ -630,7 +717,7 @@ func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, err
 	if err != nil {
 		return nil, err
 	}
-	return mergeParts(parts)
+	return mergeParts(names, parts)
 }
 
 // groupPart is one shard's contribution to one GROUP BY group.
@@ -660,6 +747,7 @@ func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]Gro
 	}
 	shardGroups := make([]map[string]*groupPart, numShards)
 	release := t.rlockAll()
+	names := t.sourceNameTable()
 	err = t.forEachShard(func(i int, sh *shard) error {
 		g, err := t.scanShardGrouped(sh, attrCol, groupCol, prog)
 		if err != nil {
@@ -692,7 +780,7 @@ func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]Gro
 		for i, gp := range gps {
 			parts[i] = &gp.part
 		}
-		sample, err := mergeParts(parts)
+		sample, err := mergeParts(names, parts)
 		if err != nil {
 			return nil, err
 		}
@@ -736,25 +824,14 @@ func (t *Table) scanShardGrouped(sh *shard, attrCol, groupCol int, prog *filterP
 		keyStr := groupKeyString(key)
 		gp, exists := groups[keyStr]
 		if !exists {
-			gp = &groupPart{key: key, part: samplePart{srcCounts: map[string]int{}}}
+			gp = &groupPart{key: key}
 			groups[keyStr] = gp
 		}
-		gp.part.rows = append(gp.part.rows, sampleRow{
-			seq:   sh.seq[row],
-			id:    sh.ids[row],
-			value: value,
-			count: len(sh.lineage[row]),
-		})
-		for _, src := range sh.lineage[row] {
-			gp.part.srcCounts[src]++
-		}
+		gp.part.keepRow(sh, row, value)
 		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	for _, gp := range groups {
-		gp.part.numSources = len(gp.part.srcCounts)
 	}
 	return groups, nil
 }

@@ -12,8 +12,18 @@
 //   - per-entity occurrence counts and attribute values,
 //   - the f-statistics f_j = number of entities observed exactly j times
 //     (f_1 are the singletons, f_2 the doubletons, ...),
-//   - per-source contribution sizes n_j (needed by the Monte-Carlo
-//     estimator to replay the sampling scenario).
+//   - per-entity per-source observation counts — the full attribution of
+//     which source delivered which entity how often. The per-source
+//     contribution sizes n_j (needed by the Monte-Carlo estimator to
+//     replay the sampling scenario) are maintained as running totals of
+//     that attribution, so restricting a sample to any sub-population
+//     (Filter) yields *exact* n_j for the sub-population, never a scaled
+//     approximation.
+//
+// Source names are interned: each sample maps source names to dense local
+// IDs once and stores per-entity attribution as small (source ID, count)
+// vectors, so attribution costs O(sources-per-entity) integers per entity
+// rather than a map per entity.
 package freqstats
 
 import (
@@ -37,44 +47,143 @@ type Observation struct {
 	Source string
 }
 
+// srcCount is one cell of an entity's attribution vector: the sample-local
+// source ID and how many observations that source contributed for the
+// entity.
+type srcCount struct {
+	src int32
+	cnt int32
+}
+
+// entityStat is everything the sample tracks per unique entity.
+type entityStat struct {
+	count int
+	value float64
+	srcs  []srcCount
+}
+
 // Sample accumulates observations and maintains all statistics the
 // estimators need. The zero value is an empty sample ready for use.
 type Sample struct {
-	counts  map[string]int     // entity -> occurrences in S
-	values  map[string]float64 // entity -> attribute value
-	sources map[string]int     // source -> contribution size n_j
-	order   []string           // entities in first-observation order
-	n       int                // |S|
-	fstat   map[int]int        // j -> f_j
+	ents  map[string]entityStat // entity -> occurrences, value, attribution
+	order []string              // entities in first-observation order
+	n     int                   // |S|
+	fstat map[int]int           // j -> f_j
+
+	srcIDs    map[string]int32 // source name -> sample-local ID
+	srcNames  []string         // sample-local ID -> source name
+	srcTotals []int            // sample-local ID -> contribution size n_j
+
+	// srcArena backs attribution vectors built through the bulk path, so
+	// presized bulk construction does one slab allocation instead of one
+	// per entity. Vectors are carved with a full slice expression, so a
+	// later append to an entity's vector reallocates instead of clobbering
+	// its arena neighbor.
+	srcArena []srcCount
 }
 
 // NewSample returns an empty sample.
 func NewSample() *Sample {
 	return &Sample{
-		counts:  make(map[string]int),
-		values:  make(map[string]float64),
-		sources: make(map[string]int),
-		fstat:   make(map[int]int),
+		ents:   make(map[string]entityStat),
+		fstat:  make(map[int]int),
+		srcIDs: make(map[string]int32),
 	}
 }
 
 // NewSampleWithCapacity returns an empty sample presized for roughly the
-// given numbers of unique entities and sources, so bulk construction (the
-// engine's shard-merge path) avoids incremental map growth.
-func NewSampleWithCapacity(entities, sources int) *Sample {
+// given numbers of unique entities, sources and total observations, so bulk
+// construction (the engine's shard-merge path) avoids incremental map and
+// attribution-vector growth.
+func NewSampleWithCapacity(entities, sources, observations int) *Sample {
 	if entities < 0 {
 		entities = 0
 	}
 	if sources < 0 {
 		sources = 0
 	}
-	return &Sample{
-		counts:  make(map[string]int, entities),
-		values:  make(map[string]float64, entities),
-		sources: make(map[string]int, sources),
-		order:   make([]string, 0, entities),
-		fstat:   make(map[int]int),
+	if observations < 0 {
+		observations = 0
 	}
+	return &Sample{
+		ents:      make(map[string]entityStat, entities),
+		order:     make([]string, 0, entities),
+		fstat:     make(map[int]int),
+		srcIDs:    make(map[string]int32, sources),
+		srcNames:  make([]string, 0, sources),
+		srcTotals: make([]int, 0, sources),
+		srcArena:  make([]srcCount, 0, observations),
+	}
+}
+
+func (s *Sample) ensureMaps() {
+	if s.ents == nil {
+		s.ents = make(map[string]entityStat)
+		s.fstat = make(map[int]int)
+	}
+	if s.srcIDs == nil {
+		s.srcIDs = make(map[string]int32)
+	}
+}
+
+// InternSource returns the sample-local ID for a source name, registering
+// the name on first use. IDs are dense and stable for the lifetime of the
+// sample; they are the currency of the bulk builder AddEntityObservations.
+func (s *Sample) InternSource(name string) int32 {
+	s.ensureMaps()
+	if id, ok := s.srcIDs[name]; ok {
+		return id
+	}
+	id := int32(len(s.srcNames))
+	s.srcIDs[name] = id
+	s.srcNames = append(s.srcNames, name)
+	s.srcTotals = append(s.srcTotals, 0)
+	return id
+}
+
+// allocVec returns an empty attribution vector with capacity k, carved from
+// the arena when it has room and standalone otherwise.
+func (s *Sample) allocVec(k int) []srcCount {
+	if n := len(s.srcArena); n+k <= cap(s.srcArena) {
+		s.srcArena = s.srcArena[:n+k]
+		return s.srcArena[n : n : n+k]
+	}
+	return make([]srcCount, 0, k)
+}
+
+// addToVec records cnt more observations by src in an attribution vector.
+// Vectors are short (one cell per distinct source of the entity), so a
+// linear scan beats any indexed structure.
+func addToVec(vec []srcCount, src int32, cnt int32) []srcCount {
+	for i := range vec {
+		if vec[i].src == src {
+			vec[i].cnt += cnt
+			return vec
+		}
+	}
+	return append(vec, srcCount{src: src, cnt: cnt})
+}
+
+// bumpEntity adds count observations of entity id, maintaining n, c, order
+// and the f-statistics, and returns the entity's previous stat (for
+// attribution and conflict handling). It does not touch attribution.
+func (s *Sample) bumpEntity(id string, value float64, count int) (prev entityStat, conflict bool) {
+	prev = s.ents[id]
+	if prev.count == 0 {
+		s.order = append(s.order, id)
+		prev.value = value
+	} else if prev.value != value {
+		conflict = true
+	}
+	s.n += count
+	if prev.count > 0 {
+		s.fstat[prev.count]--
+		if s.fstat[prev.count] == 0 {
+			delete(s.fstat, prev.count)
+		}
+	}
+	s.fstat[prev.count+count]++
+	return prev, conflict
 }
 
 // Add records one observation. It returns an error if the entity was seen
@@ -87,73 +196,58 @@ func (s *Sample) Add(obs Observation) error {
 	if obs.EntityID == "" {
 		return fmt.Errorf("freqstats: observation with empty entity ID")
 	}
-	prev := s.counts[obs.EntityID]
-	if prev == 0 {
-		s.values[obs.EntityID] = obs.Value
-		s.order = append(s.order, obs.EntityID)
-	}
-	s.counts[obs.EntityID] = prev + 1
-	s.n++
-	if prev > 0 {
-		s.fstat[prev]--
-		if s.fstat[prev] == 0 {
-			delete(s.fstat, prev)
-		}
-	}
-	s.fstat[prev+1]++
-	s.sources[obs.Source]++
+	src := s.InternSource(obs.Source)
+	prev, conflict := s.bumpEntity(obs.EntityID, obs.Value, 1)
+	es := prev
+	es.count++
+	es.srcs = addToVec(es.srcs, src, 1)
+	s.ents[obs.EntityID] = es
+	s.srcTotals[src]++
 
-	if prev > 0 && s.values[obs.EntityID] != obs.Value {
+	if conflict {
 		return fmt.Errorf("freqstats: entity %q observed with conflicting values %g and %g (input not cleaned)",
-			obs.EntityID, s.values[obs.EntityID], obs.Value)
+			obs.EntityID, prev.value, obs.Value)
 	}
 	return nil
 }
 
-// AddEntityObservations bulk-records that an entity was observed count
-// times with the given value, equivalent to count Add calls but with one
-// map update. Source contributions are tracked separately — pair with
-// AddSourceObservations so sum n_j stays equal to n. Re-adding a known
-// entity extends its count; a value conflict is reported like Add (first
-// value wins, observations still counted).
-func (s *Sample) AddEntityObservations(id string, value float64, count int) error {
+// AddEntityObservations bulk-records that an entity was observed with the
+// given value once per element of srcs — sample-local source IDs from
+// InternSource, repeats allowed. It is equivalent to len(srcs) Add calls
+// but with one map update, and it keeps the per-source contribution sizes
+// n_j exactly attributed (sum_j n_j == n is a checked invariant).
+// Re-adding a known entity extends its count and attribution; a value
+// conflict is reported like Add (first value wins, observations still
+// counted). The srcs slice is not retained.
+func (s *Sample) AddEntityObservations(id string, value float64, srcs []int32) error {
 	s.ensureMaps()
 	if id == "" {
 		return fmt.Errorf("freqstats: observation with empty entity ID")
 	}
-	if count <= 0 {
-		return fmt.Errorf("freqstats: entity %q added with non-positive count %d", id, count)
+	if len(srcs) == 0 {
+		return fmt.Errorf("freqstats: entity %q added with no source observations", id)
 	}
-	prev := s.counts[id]
-	if prev == 0 {
-		s.values[id] = value
-		s.order = append(s.order, id)
-	}
-	s.counts[id] = prev + count
-	s.n += count
-	if prev > 0 {
-		s.fstat[prev]--
-		if s.fstat[prev] == 0 {
-			delete(s.fstat, prev)
+	for _, src := range srcs {
+		if src < 0 || int(src) >= len(s.srcNames) {
+			return fmt.Errorf("freqstats: entity %q attributed to unknown source ID %d", id, src)
 		}
 	}
-	s.fstat[prev+count]++
-	if prev > 0 && s.values[id] != value {
+	prev, conflict := s.bumpEntity(id, value, len(srcs))
+	es := prev
+	es.count += len(srcs)
+	if es.srcs == nil {
+		es.srcs = s.allocVec(len(srcs))
+	}
+	for _, src := range srcs {
+		es.srcs = addToVec(es.srcs, src, 1)
+		s.srcTotals[src]++
+	}
+	s.ents[id] = es
+	if conflict {
 		return fmt.Errorf("freqstats: entity %q observed with conflicting values %g and %g (input not cleaned)",
-			id, s.values[id], value)
+			id, prev.value, value)
 	}
 	return nil
-}
-
-// AddSourceObservations bulk-adds n observations to source src's
-// contribution size n_j. It does not touch the entity statistics; callers
-// doing bulk construction account for those via AddEntityObservations.
-func (s *Sample) AddSourceObservations(src string, n int) {
-	if n <= 0 {
-		return
-	}
-	s.ensureMaps()
-	s.sources[src] += n
 }
 
 // AddAll records all observations, stopping at the first error.
@@ -166,20 +260,11 @@ func (s *Sample) AddAll(obs []Observation) error {
 	return nil
 }
 
-func (s *Sample) ensureMaps() {
-	if s.counts == nil {
-		s.counts = make(map[string]int)
-		s.values = make(map[string]float64)
-		s.sources = make(map[string]int)
-		s.fstat = make(map[int]int)
-	}
-}
-
 // N returns the multiset size n = |S|.
 func (s *Sample) N() int { return s.n }
 
 // C returns the number of unique entities c = |K|.
-func (s *Sample) C() int { return len(s.counts) }
+func (s *Sample) C() int { return len(s.ents) }
 
 // F returns f_j, the number of entities observed exactly j times.
 func (s *Sample) F(j int) int {
@@ -206,20 +291,14 @@ func (s *Sample) FStatistics() map[int]int {
 
 // Count returns how many times entity id was observed.
 func (s *Sample) Count(id string) int {
-	if s.counts == nil {
-		return 0
-	}
-	return s.counts[id]
+	return s.ents[id].count
 }
 
 // Value returns the attribute value of entity id and whether it was
 // observed.
 func (s *Sample) Value(id string) (float64, bool) {
-	if s.values == nil {
-		return 0, false
-	}
-	v, ok := s.values[id]
-	return v, ok
+	es, ok := s.ents[id]
+	return es.value, ok
 }
 
 // Entities returns the unique entity IDs in first-observation order. The
@@ -235,7 +314,7 @@ func (s *Sample) Entities() []string {
 func (s *Sample) Values() []float64 {
 	out := make([]float64, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.values[id])
+		out = append(out, s.ents[id].value)
 	}
 	return out
 }
@@ -245,7 +324,7 @@ func (s *Sample) Values() []float64 {
 func (s *Sample) SumValues() float64 {
 	var sum float64
 	for _, id := range s.order {
-		sum += s.values[id]
+		sum += s.ents[id].value
 	}
 	return sum
 }
@@ -254,39 +333,86 @@ func (s *Sample) SumValues() float64 {
 // entities observed exactly once (paper Section 3.2).
 func (s *Sample) SumSingletonValues() float64 {
 	var sum float64
-	for id, cnt := range s.counts {
-		if cnt == 1 {
-			sum += s.values[id]
+	for _, es := range s.ents {
+		if es.count == 1 {
+			sum += es.value
 		}
 	}
 	return sum
 }
 
 // SourceSizes returns the per-source contribution sizes n_j, sorted by
-// source name for determinism.
+// source name for determinism. Sources whose observations were entirely
+// filtered away do not appear.
 func (s *Sample) SourceSizes() []int {
-	names := make([]string, 0, len(s.sources))
-	for name := range s.sources {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := s.sourceNamesWithObservations()
 	out := make([]int, len(names))
 	for i, name := range names {
-		out[i] = s.sources[name]
+		out[i] = s.srcTotals[s.srcIDs[name]]
 	}
 	return out
 }
 
-// NumSources returns the number of distinct sources l.
-func (s *Sample) NumSources() int { return len(s.sources) }
+// SourceContributions returns the exact per-source contribution sizes n_j
+// keyed by source name. Sources with zero remaining observations are
+// omitted. The returned map is a copy.
+func (s *Sample) SourceContributions() map[string]int {
+	out := make(map[string]int, len(s.srcNames))
+	for id, total := range s.srcTotals {
+		if total > 0 {
+			out[s.srcNames[id]] = total
+		}
+	}
+	return out
+}
+
+// EntitySourceCounts returns entity id's attribution: how many observations
+// each source contributed for it, keyed by source name. The returned map is
+// a copy; nil is returned for an unknown entity.
+func (s *Sample) EntitySourceCounts(id string) map[string]int {
+	es, ok := s.ents[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]int, len(es.srcs))
+	for _, sc := range es.srcs {
+		out[s.srcNames[sc.src]] = int(sc.cnt)
+	}
+	return out
+}
+
+// sourceNamesWithObservations returns the names of sources with at least
+// one attributed observation, sorted.
+func (s *Sample) sourceNamesWithObservations() []string {
+	names := make([]string, 0, len(s.srcNames))
+	for id, total := range s.srcTotals {
+		if total > 0 {
+			names = append(names, s.srcNames[id])
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumSources returns the number of distinct sources l with at least one
+// observation in the sample.
+func (s *Sample) NumSources() int {
+	count := 0
+	for _, total := range s.srcTotals {
+		if total > 0 {
+			count++
+		}
+	}
+	return count
+}
 
 // OccurrenceCounts returns the per-entity occurrence counts in descending
 // order. This is the "indexed" frequency profile compared by the
 // Monte-Carlo estimator's KL-divergence distance.
 func (s *Sample) OccurrenceCounts() []int {
-	out := make([]int, 0, len(s.counts))
-	for _, cnt := range s.counts {
-		out = append(out, cnt)
+	out := make([]int, 0, len(s.ents))
+	for _, es := range s.ents {
+		out = append(out, es.count)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))
 	return out
@@ -294,100 +420,118 @@ func (s *Sample) OccurrenceCounts() []int {
 
 // Clone returns a deep copy of the sample.
 func (s *Sample) Clone() *Sample {
-	c := NewSample()
+	c := NewSampleWithCapacity(len(s.ents), len(s.srcNames), s.n)
 	c.n = s.n
-	for k, v := range s.counts {
-		c.counts[k] = v
-	}
-	for k, v := range s.values {
-		c.values[k] = v
-	}
-	for k, v := range s.sources {
-		c.sources[k] = v
+	for id, es := range s.ents {
+		dup := es
+		dup.srcs = c.allocVec(len(es.srcs))
+		dup.srcs = append(dup.srcs, es.srcs...)
+		c.ents[id] = dup
 	}
 	for k, v := range s.fstat {
 		c.fstat[k] = v
 	}
+	for name, id := range s.srcIDs {
+		c.srcIDs[name] = id
+	}
+	c.srcNames = append(c.srcNames, s.srcNames...)
+	c.srcTotals = append(c.srcTotals[:0], s.srcTotals...)
 	c.order = append(c.order, s.order...)
 	return c
 }
 
 // Filter returns a new sample containing only entities for which keep
 // returns true (for WHERE-predicate evaluation: the estimators run on the
-// sub-population that satisfies the predicate). Observation counts and
-// source contributions are restricted accordingly. Source sizes n_j count
-// only the kept observations, since those are the ones that sample the
-// predicate's sub-population.
+// sub-population that satisfies the predicate). Observation counts, the
+// f-statistics and the per-source contribution sizes n_j are all restricted
+// exactly: each kept entity carries its attribution with it, so n_j counts
+// precisely the kept observations source j delivered — the observations
+// that sample the predicate's sub-population. A source concentrated
+// entirely in the filtered-out region disappears from the result.
 func (s *Sample) Filter(keep func(id string, value float64) bool) *Sample {
-	out := NewSample()
+	// Presize the output arena to n, an upper bound on the kept attribution
+	// cells (every cell covers at least one observation): one allocation,
+	// and no cells retained twice across arena growth. The parent's own
+	// attribution is at least as large, so the bound cannot dominate live
+	// memory.
+	out := NewSampleWithCapacity(0, len(s.srcNames), s.n)
+	// trans lazily maps this sample's source IDs to the output's, so only
+	// sources with kept observations are interned in the result.
+	trans := make([]int32, len(s.srcNames))
+	for i := range trans {
+		trans[i] = -1
+	}
 	for _, id := range s.order {
-		if !keep(id, s.values[id]) {
+		es := s.ents[id]
+		if !keep(id, es.value) {
 			continue
 		}
-		cnt := s.counts[id]
-		out.counts[id] = cnt
-		out.values[id] = s.values[id]
-		out.order = append(out.order, id)
-		out.n += cnt
-		out.fstat[cnt]++
-	}
-	// Source sizes cannot be recovered per entity from the aggregate view;
-	// callers that need exact per-source filtered sizes should rebuild the
-	// sample from raw observations. We approximate by scaling each source's
-	// contribution by the kept fraction of n, which preserves the relative
-	// streakiness profile the Monte-Carlo estimator keys on.
-	if s.n > 0 {
-		frac := float64(out.n) / float64(s.n)
-		for name, nj := range s.sources {
-			scaled := int(float64(nj)*frac + 0.5)
-			if scaled > 0 {
-				out.sources[name] = scaled
+		dup := es
+		// Carve the translated vector out of the output's arena (growing it
+		// amortizes to a handful of allocations across the whole filter; a
+		// mid-entity grow is fine, the final carve sees the final array).
+		start := len(out.srcArena)
+		for _, sc := range es.srcs {
+			local := trans[sc.src]
+			if local < 0 {
+				local = out.InternSource(s.srcNames[sc.src])
+				trans[sc.src] = local
 			}
+			out.srcArena = append(out.srcArena, srcCount{src: local, cnt: sc.cnt})
+			out.srcTotals[local] += int(sc.cnt)
 		}
+		dup.srcs = out.srcArena[start:len(out.srcArena):len(out.srcArena)]
+		out.ents[id] = dup
+		out.order = append(out.order, id)
+		out.n += es.count
+		out.fstat[es.count]++
 	}
 	return out
 }
 
-// Merge folds another sample into this one, as if other's observations
-// had been added here (distributed ingestion: shards merge into one
-// sample). Source names are shared — an entity counted once per source in
-// both shards is still counted twice after the merge, because Merge cannot
-// know whether the two shards saw the same mention; shard by source to
-// avoid double counting. An error is reported for value conflicts (first
-// value wins), mirroring Add.
+// Merge folds another sample into this one, as if other's observations had
+// been added here (distributed ingestion: shards merge into one sample).
+// Source names are shared and attribution merges per entity: if source s1
+// reported entity e in both shards, e's merged attribution counts both
+// mentions — Merge cannot know whether the two shards saw the same mention,
+// so shard by source to avoid double counting. The contribution sizes n_j
+// stay exact sums of the merged per-entity attribution. An error is
+// reported for value conflicts (first value wins), mirroring Add.
 func (s *Sample) Merge(other *Sample) error {
 	s.ensureMaps()
 	var firstErr error
-	for _, id := range other.order {
-		cnt := other.counts[id]
-		prev := s.counts[id]
-		if prev == 0 {
-			s.values[id] = other.values[id]
-			s.order = append(s.order, id)
-		} else if s.values[id] != other.values[id] && firstErr == nil {
-			firstErr = fmt.Errorf("freqstats: entity %q merged with conflicting values %g and %g",
-				id, s.values[id], other.values[id])
-		}
-		s.counts[id] = prev + cnt
-		s.n += cnt
-		if prev > 0 {
-			s.fstat[prev]--
-			if s.fstat[prev] == 0 {
-				delete(s.fstat, prev)
-			}
-		}
-		s.fstat[prev+cnt]++
+	// Translate other's source IDs into this sample's ID space once.
+	trans := make([]int32, len(other.srcNames))
+	for i, name := range other.srcNames {
+		trans[i] = s.InternSource(name)
 	}
-	for src, nj := range other.sources {
-		s.sources[src] += nj
+	for _, id := range other.order {
+		oes := other.ents[id]
+		prev, conflict := s.bumpEntity(id, oes.value, oes.count)
+		if conflict && firstErr == nil {
+			firstErr = fmt.Errorf("freqstats: entity %q merged with conflicting values %g and %g",
+				id, prev.value, oes.value)
+		}
+		es := prev
+		es.count += oes.count
+		if es.srcs == nil {
+			es.srcs = s.allocVec(len(oes.srcs))
+		}
+		for _, sc := range oes.srcs {
+			local := trans[sc.src]
+			es.srcs = addToVec(es.srcs, local, sc.cnt)
+			s.srcTotals[local] += int(sc.cnt)
+		}
+		s.ents[id] = es
 	}
 	return firstErr
 }
 
 // CheckInvariants verifies internal consistency: sum_j j*f_j == n,
-// sum_j f_j == c, and every count is positive. It is used by tests and by
-// the engine's self-checks; a non-nil error indicates a bug in this
-// package.
+// sum_j f_j == c, every count is positive, and the source attribution is
+// exact — each entity's attribution sums to its occurrence count and the
+// per-source totals n_j sum to n. It is used by tests and by the engine's
+// self-checks; a non-nil error indicates a bug in this package.
 func (s *Sample) CheckInvariants() error {
 	var n, c int
 	for j, f := range s.fstat {
@@ -400,21 +544,54 @@ func (s *Sample) CheckInvariants() error {
 	if n != s.n {
 		return fmt.Errorf("freqstats: sum j*f_j = %d but n = %d", n, s.n)
 	}
-	if c != len(s.counts) {
-		return fmt.Errorf("freqstats: sum f_j = %d but c = %d", c, len(s.counts))
+	if c != len(s.ents) {
+		return fmt.Errorf("freqstats: sum f_j = %d but c = %d", c, len(s.ents))
 	}
-	if len(s.order) != len(s.counts) {
-		return fmt.Errorf("freqstats: order has %d entities but counts has %d", len(s.order), len(s.counts))
+	if len(s.order) != len(s.ents) {
+		return fmt.Errorf("freqstats: order has %d entities but ents has %d", len(s.order), len(s.ents))
 	}
 	var total int
-	for id, cnt := range s.counts {
-		if cnt <= 0 {
-			return fmt.Errorf("freqstats: entity %q has count %d", id, cnt)
+	recomputed := make([]int, len(s.srcNames))
+	for id, es := range s.ents {
+		if es.count <= 0 {
+			return fmt.Errorf("freqstats: entity %q has count %d", id, es.count)
 		}
-		total += cnt
+		total += es.count
+		var attributed int
+		for i, sc := range es.srcs {
+			if sc.cnt <= 0 {
+				return fmt.Errorf("freqstats: entity %q has non-positive attribution %d for source %q",
+					id, sc.cnt, s.srcNames[sc.src])
+			}
+			if sc.src < 0 || int(sc.src) >= len(s.srcNames) {
+				return fmt.Errorf("freqstats: entity %q attributed to unknown source ID %d", id, sc.src)
+			}
+			for _, prev := range es.srcs[:i] {
+				if prev.src == sc.src {
+					return fmt.Errorf("freqstats: entity %q has duplicate attribution cells for source %q",
+						id, s.srcNames[sc.src])
+				}
+			}
+			attributed += int(sc.cnt)
+			recomputed[sc.src] += int(sc.cnt)
+		}
+		if attributed != es.count {
+			return fmt.Errorf("freqstats: entity %q attribution sums to %d but count is %d", id, attributed, es.count)
+		}
 	}
 	if total != s.n {
 		return fmt.Errorf("freqstats: counts total %d but n = %d", total, s.n)
+	}
+	var sumNJ int
+	for id, got := range s.srcTotals {
+		if got != recomputed[id] {
+			return fmt.Errorf("freqstats: source %q total n_j = %d but attribution sums to %d",
+				s.srcNames[id], got, recomputed[id])
+		}
+		sumNJ += got
+	}
+	if sumNJ != s.n {
+		return fmt.Errorf("freqstats: source sizes sum to %d but n = %d", sumNJ, s.n)
 	}
 	return nil
 }

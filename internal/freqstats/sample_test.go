@@ -169,6 +169,7 @@ func TestFilter(t *testing.T) {
 		obs("small1", 10, "s1"), obs("small2", 20, "s1"),
 		obs("big", 1000, "s1"), obs("big", 1000, "s2"),
 		obs("small1", 10, "s2"),
+		obs("big", 1000, "s3"), // s3 reports only the filtered-out entity
 	}))
 	f := s.Filter(func(id string, v float64) bool { return v < 100 })
 	if f.C() != 2 {
@@ -183,12 +184,139 @@ func TestFilter(t *testing.T) {
 	if got := f.SumValues(); got != 30 {
 		t.Errorf("filtered sum = %g, want 30", got)
 	}
+	// Per-source sizes are exact for the kept sub-population: s1 kept
+	// small1+small2, s2 kept small1, and s3 — which reported only the
+	// filtered-out entity — vanishes entirely.
+	want := map[string]int{"s1": 2, "s2": 1}
+	got := f.SourceContributions()
+	if len(got) != len(want) || got["s1"] != want["s1"] || got["s2"] != want["s2"] {
+		t.Errorf("filtered source contributions = %v, want %v", got, want)
+	}
+	if f.NumSources() != 2 {
+		t.Errorf("filtered NumSources = %d, want 2", f.NumSources())
+	}
 	if err := f.CheckInvariants(); err != nil {
 		t.Error(err)
 	}
 	// Original untouched.
-	if s.C() != 3 || s.N() != 5 {
+	if s.C() != 3 || s.N() != 6 {
 		t.Error("Filter mutated the source sample")
+	}
+}
+
+// Property: Filter produces bitwise-exact per-source sizes — identical to
+// rebuilding a sample from only the kept raw observations.
+func TestFilterExactSourceSizesProperty(t *testing.T) {
+	f := func(ids []uint8, threshold uint8) bool {
+		var raw []Observation
+		s := NewSample()
+		for i, r := range ids {
+			o := obs(fmt.Sprintf("e%d", r%16), float64(r%16)*10, fmt.Sprintf("s%d", i%7))
+			raw = append(raw, o)
+			_ = s.Add(o)
+		}
+		cut := float64(threshold%16) * 10
+		keep := func(_ string, v float64) bool { return v < cut }
+		filtered := s.Filter(keep)
+		rebuilt := NewSample()
+		for _, o := range raw {
+			if keep(o.EntityID, o.Value) {
+				_ = rebuilt.Add(o)
+			}
+		}
+		if filtered.N() != rebuilt.N() || filtered.C() != rebuilt.C() {
+			return false
+		}
+		a, b := filtered.SourceContributions(), rebuilt.SourceContributions()
+		if len(a) != len(b) {
+			return false
+		}
+		for name, nj := range a {
+			if b[name] != nj {
+				return false
+			}
+		}
+		return filtered.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntitySourceCounts(t *testing.T) {
+	s := NewSample()
+	must(t, s.AddAll([]Observation{
+		obs("a", 1, "s1"), obs("a", 1, "s2"), obs("a", 1, "s1"),
+		obs("b", 2, "s2"),
+	}))
+	got := s.EntitySourceCounts("a")
+	if len(got) != 2 || got["s1"] != 2 || got["s2"] != 1 {
+		t.Errorf("EntitySourceCounts(a) = %v, want s1:2 s2:1", got)
+	}
+	if s.EntitySourceCounts("nope") != nil {
+		t.Error("EntitySourceCounts on unknown entity should be nil")
+	}
+	// The returned map is a copy.
+	got["s1"] = 99
+	if s.EntitySourceCounts("a")["s1"] != 2 {
+		t.Error("EntitySourceCounts exposed internal state")
+	}
+}
+
+func TestAddEntityObservationsBulk(t *testing.T) {
+	incr := NewSample()
+	must(t, incr.AddAll([]Observation{
+		obs("a", 1, "s1"), obs("a", 1, "s2"), obs("b", 2, "s2"), obs("a", 1, "s1"),
+	}))
+
+	bulk := NewSample()
+	s1, s2 := bulk.InternSource("s1"), bulk.InternSource("s2")
+	must(t, bulk.AddEntityObservations("a", 1, []int32{s1, s2, s1}))
+	must(t, bulk.AddEntityObservations("b", 2, []int32{s2}))
+
+	if bulk.N() != incr.N() || bulk.C() != incr.C() {
+		t.Fatalf("bulk n=%d c=%d, incremental n=%d c=%d", bulk.N(), bulk.C(), incr.N(), incr.C())
+	}
+	bs, is := bulk.SourceSizes(), incr.SourceSizes()
+	if len(bs) != len(is) || bs[0] != is[0] || bs[1] != is[1] {
+		t.Errorf("bulk source sizes %v != incremental %v", bs, is)
+	}
+	ba, ia := bulk.EntitySourceCounts("a"), incr.EntitySourceCounts("a")
+	if len(ba) != len(ia) || ba["s1"] != ia["s1"] || ba["s2"] != ia["s2"] {
+		t.Errorf("bulk attribution %v != incremental %v", ba, ia)
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddEntityObservationsRejectsBadInput(t *testing.T) {
+	s := NewSample()
+	src := s.InternSource("s1")
+	if err := s.AddEntityObservations("", 1, []int32{src}); err == nil {
+		t.Error("empty entity ID not reported")
+	}
+	if err := s.AddEntityObservations("a", 1, nil); err == nil {
+		t.Error("empty source list not reported")
+	}
+	if err := s.AddEntityObservations("a", 1, []int32{42}); err == nil {
+		t.Error("unknown source ID not reported")
+	}
+	if s.N() != 0 || s.C() != 0 {
+		t.Errorf("failed adds mutated the sample: n=%d c=%d", s.N(), s.C())
+	}
+}
+
+func TestCheckInvariantsCatchesAttributionDrift(t *testing.T) {
+	s := NewSample()
+	must(t, s.Add(obs("a", 1, "s1")))
+	s.srcTotals[0]++ // corrupt: n_j no longer matches the attribution
+	if err := s.CheckInvariants(); err == nil {
+		t.Error("source-total drift not detected")
+	}
+	s.srcTotals[0] -= 2 // corrupt the other way: sum n_j != n
+	if err := s.CheckInvariants(); err == nil {
+		t.Error("sum n_j != n not detected")
 	}
 }
 
@@ -257,12 +385,41 @@ func TestMerge(t *testing.T) {
 	if a.F1() != 2 || a.F(3) != 1 {
 		t.Errorf("f-stats after merge: f1=%d f3=%d", a.F1(), a.F(3))
 	}
+	contrib := a.SourceContributions()
+	if contrib["s1"] != 2 || contrib["s2"] != 1 || contrib["s3"] != 2 {
+		t.Errorf("merged source contributions = %v, want s1:2 s2:1 s3:2", contrib)
+	}
+	ax := a.EntitySourceCounts("x")
+	if len(ax) != 3 || ax["s1"] != 1 || ax["s2"] != 1 || ax["s3"] != 1 {
+		t.Errorf("merged attribution of x = %v", ax)
+	}
 	if err := a.CheckInvariants(); err != nil {
 		t.Error(err)
 	}
 	// b untouched.
 	if b.N() != 2 || b.C() != 2 {
 		t.Errorf("source sample mutated: n=%d c=%d", b.N(), b.C())
+	}
+}
+
+// Merge with a shared source name: per-entity counts from both sides add
+// up, because Merge cannot know whether two shards saw the same mention.
+func TestMergeSharedSourceAddsCounts(t *testing.T) {
+	a := NewSample()
+	must(t, a.Add(obs("x", 1, "s1")))
+	b := NewSample()
+	must(t, b.Add(obs("x", 1, "s1")))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.EntitySourceCounts("x"); got["s1"] != 2 {
+		t.Errorf("attribution of x after shared-source merge = %v, want s1:2", got)
+	}
+	if sizes := a.SourceSizes(); len(sizes) != 1 || sizes[0] != 2 {
+		t.Errorf("source sizes = %v, want [2]", a.SourceSizes())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }
 
