@@ -1,7 +1,15 @@
-# Development and CI entry points. `make ci` is the full gate the CI
-# workflow runs; the individual targets are useful during development.
+# Development and CI entry points. `make ci` is the full gate; the CI
+# workflow (.github/workflows/ci.yml) runs these exact targets, so a
+# green local `make ci` means a green CI `ci` job.
 
-.PHONY: fmt vet build test test-short race bench bench-smoke ci
+# Benchmark knobs: `make bench BENCH=RepeatedQuery BENCH_COUNT=5` runs a
+# subset with repetitions for benchstat.
+BENCH ?= .
+BENCH_COUNT ?= 1
+BENCH_OUT ?= bench.txt
+BENCH_NOTE ?=
+
+.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record ci
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,7 +32,7 @@ race:
 	go test -race -short ./...
 
 bench:
-	go test -run xxx -bench Columnar -benchmem .
+	go test -run=NONE -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) ./...
 
 # bench-smoke runs every benchmark exactly once so bench files keep
 # compiling and their setup/assertions keep passing in CI, without paying
@@ -32,4 +40,17 @@ bench:
 bench-smoke:
 	go test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: fmt vet build race bench-smoke
+# bench-compare benchmarks HEAD against the merge-base with BASE
+# (default origin/main), reports with benchstat when installed, and
+# fails if a gated benchmark (columnar scans, repeated-query paths)
+# regressed more than 15% — see scripts/bench_compare.sh for knobs.
+bench-compare:
+	./scripts/bench_compare.sh
+
+# bench-record runs the measured benchmark set and encodes it into the
+# committed perf-trajectory file (see README "Benchmark record").
+bench-record:
+	go test -run=NONE -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) ./... | tee '$(BENCH_OUT)'
+	go run ./cmd/benchgate record -in '$(BENCH_OUT)' -out BENCH_PR3.json -note '$(BENCH_NOTE)'
+
+ci: fmt vet build race test bench-smoke

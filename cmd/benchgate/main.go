@@ -1,0 +1,298 @@
+// Command benchgate is the repo's benchmark tooling for CI:
+//
+//	benchgate env                        print NumCPU/GOMAXPROCS/go version
+//	                                     (so 1-CPU vs multi-core numbers are
+//	                                     distinguishable in CI logs)
+//	benchgate compare -old A -new B      diff two `go test -bench` outputs;
+//	                                     exit 1 when a benchmark matching
+//	                                     -gate regressed more than -threshold
+//	                                     percent, warn-only for the rest
+//	benchgate record -in A -out F.json   encode a `go test -bench` output as
+//	                                     the committed benchmark-trajectory
+//	                                     JSON (see BENCH_PR3.json / README)
+//
+// It parses standard `go test -bench` text output directly, so the gate
+// has no dependency beyond the Go toolchain; benchstat remains the
+// human-readable reporter in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchgate <env|compare|record> [flags]")
+	}
+	switch args[0] {
+	case "env":
+		fmt.Fprintf(out, "go:         %s\n", runtime.Version())
+		fmt.Fprintf(out, "NumCPU:     %d\n", runtime.NumCPU())
+		fmt.Fprintf(out, "GOMAXPROCS: %d\n", runtime.GOMAXPROCS(0))
+		return nil
+	case "compare":
+		return runCompare(args[1:], out)
+	case "record":
+		return runRecord(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q (want env, compare or record)", args[0])
+	}
+}
+
+// benchResult is one benchmark's aggregated measurements.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// trailingProcs strips the -N GOMAXPROCS suffix go test appends to
+// benchmark names.
+var trailingProcs = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` text output and aggregates repeated
+// runs of the same benchmark (from -count=N) by median, which is robust
+// to the occasional noisy run on shared CI hardware.
+func parseBench(r io.Reader) ([]benchResult, error) {
+	type accum struct {
+		iters                 []int64
+		ns, bytesOp, allocsOp []float64
+	}
+	acc := map[string]*accum{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trailingProcs.ReplaceAllString(fields[0], "")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		a := acc[name]
+		if a == nil {
+			a = &accum{}
+			acc[name] = a
+			order = append(order, name)
+		}
+		a.iters = append(a.iters, iters)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns = append(a.ns, v)
+			case "B/op":
+				a.bytesOp = append(a.bytesOp, v)
+			case "allocs/op":
+				a.allocsOp = append(a.allocsOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var out []benchResult
+	for _, name := range order {
+		a := acc[name]
+		if len(a.ns) == 0 {
+			continue
+		}
+		res := benchResult{
+			Name:        name,
+			Runs:        len(a.ns),
+			Iterations:  a.iters[0],
+			NsPerOp:     median(a.ns),
+			BytesPerOp:  median(a.bytesOp),
+			AllocsPerOp: median(a.allocsOp),
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+func runCompare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline `go test -bench` output")
+	newPath := fs.String("new", "", "candidate `go test -bench` output")
+	gate := fs.String("gate", "", "regexp of benchmark names that must not regress (empty = warn-only for all)")
+	threshold := fs.Float64("threshold", 15, "max tolerated ns/op regression for gated benchmarks, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("compare needs -old and -new")
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate regexp: %w", err)
+	}
+	oldRes, err := parseBenchFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := parseBenchFile(*newPath)
+	if err != nil {
+		return err
+	}
+	failures := compare(oldRes, newRes, gateRE, *gate != "", *threshold, out)
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed more than %.0f%% or went missing: %s",
+			len(failures), *threshold, strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+// compare prints the diff table and returns the names of gated
+// benchmarks whose median ns/op regressed beyond the threshold.
+func compare(oldRes, newRes []benchResult, gateRE *regexp.Regexp, gated bool, threshold float64, out io.Writer) []string {
+	oldByName := map[string]benchResult{}
+	for _, r := range oldRes {
+		oldByName[r.Name] = r
+	}
+	var failures []string
+	fmt.Fprintf(out, "%-55s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "status")
+	for _, nr := range newRes {
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-55s %14s %14.0f %9s  %s\n", nr.Name, "-", nr.NsPerOp, "-", "new (no baseline)")
+			continue
+		}
+		delete(oldByName, nr.Name)
+		delta := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		status := "ok"
+		inGate := gated && gateRE.MatchString(nr.Name)
+		if delta > threshold {
+			if inGate {
+				status = "FAIL (gated)"
+				failures = append(failures, nr.Name)
+			} else {
+				status = "warn (not gated)"
+			}
+		} else if inGate {
+			status = "ok (gated)"
+		}
+		fmt.Fprintf(out, "%-55s %14.0f %14.0f %+8.1f%%  %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, status)
+	}
+	var gone []string
+	for name := range oldByName {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		// A gated benchmark that vanished is a gate failure, not a shrug:
+		// otherwise renaming (or breaking) a protected benchmark silently
+		// disables its regression protection.
+		if gated && gateRE.MatchString(name) {
+			fmt.Fprintf(out, "%-55s %14.0f %14s %9s  %s\n", name, oldByName[name].NsPerOp, "-", "-", "FAIL (gated benchmark missing)")
+			failures = append(failures, name)
+			continue
+		}
+		fmt.Fprintf(out, "%-55s %14.0f %14s %9s  %s\n", name, oldByName[name].NsPerOp, "-", "-", "gone")
+	}
+	return failures
+}
+
+func parseBenchFile(path string) ([]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return res, nil
+}
+
+// benchRecord is the committed benchmark-trajectory JSON (BENCH_PR3.json).
+type benchRecord struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func runRecord(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	inPath := fs.String("in", "", "`go test -bench` output to encode")
+	outPath := fs.String("out", "", "JSON file to write (default stdout)")
+	note := fs.String("note", "", "free-form provenance note (date, machine, commit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("record needs -in")
+	}
+	res, err := parseBenchFile(*inPath)
+	if err != nil {
+		return err
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Name < res[j].Name })
+	rec := benchRecord{
+		Schema:     "uu-bench/v1",
+		Go:         runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Benchmarks: res,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err = out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d benchmarks to %s\n", len(res), *outPath)
+	return nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkColumnarFilteredSumScan-8   	     181	   6527029 ns/op	 2260311 B/op	   23928 allocs/op
+BenchmarkColumnarFilteredSumScan-8   	     190	   6327029 ns/op	 2260000 B/op	   23920 allocs/op
+BenchmarkColumnarFilteredSumScan-8   	     170	   6627029 ns/op	 2260500 B/op	   23930 allocs/op
+BenchmarkRepeatedQueryWarm-8         	   10000	    120000 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkNoMem-8                     	     100	   5000000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchAggregatesByMedian(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(res), res)
+	}
+	scan := res[0]
+	if scan.Name != "BenchmarkColumnarFilteredSumScan" {
+		t.Fatalf("name = %q (want -8 suffix stripped)", scan.Name)
+	}
+	if scan.Runs != 3 {
+		t.Errorf("runs = %d, want 3", scan.Runs)
+	}
+	if scan.NsPerOp != 6527029 {
+		t.Errorf("median ns/op = %v, want 6527029", scan.NsPerOp)
+	}
+	if scan.AllocsPerOp != 23928 {
+		t.Errorf("median allocs/op = %v, want 23928", scan.AllocsPerOp)
+	}
+	if res[2].Name != "BenchmarkNoMem" || res[2].BytesPerOp != 0 {
+		t.Errorf("no-benchmem line mis-parsed: %+v", res[2])
+	}
+}
+
+func mkBench(name string, ns float64) benchResult {
+	return benchResult{Name: name, Runs: 1, Iterations: 100, NsPerOp: ns}
+}
+
+func TestCompareGatesOnlyMatchingNames(t *testing.T) {
+	oldRes := []benchResult{
+		mkBench("BenchmarkColumnarFilteredSumScan", 1000),
+		mkBench("BenchmarkRepeatedQueryWarm", 1000),
+		mkBench("BenchmarkMisc", 1000),
+		mkBench("BenchmarkGone", 1000),
+	}
+	newRes := []benchResult{
+		mkBench("BenchmarkColumnarFilteredSumScan", 1100), // +10%: inside threshold
+		mkBench("BenchmarkRepeatedQueryWarm", 1300),       // +30%: gated failure
+		mkBench("BenchmarkMisc", 2000),                    // +100%: warn-only
+		mkBench("BenchmarkFresh", 500),                    // no baseline
+	}
+	gate := regexp.MustCompile(`^BenchmarkColumnar|^BenchmarkRepeatedQuery`)
+	var sb strings.Builder
+	failures := compare(oldRes, newRes, gate, true, 15, &sb)
+	if len(failures) != 1 || failures[0] != "BenchmarkRepeatedQueryWarm" {
+		t.Fatalf("failures = %v, want [BenchmarkRepeatedQueryWarm]", failures)
+	}
+	report := sb.String()
+	for _, want := range []string{"FAIL (gated)", "warn (not gated)", "new (no baseline)", "gone", "ok (gated)"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareFailsWhenGatedBenchmarkGoesMissing(t *testing.T) {
+	oldRes := []benchResult{
+		mkBench("BenchmarkRepeatedQueryWarm", 1000),
+		mkBench("BenchmarkMisc", 1000),
+	}
+	newRes := []benchResult{mkBench("BenchmarkMisc", 1000)}
+	gate := regexp.MustCompile(`^BenchmarkRepeatedQuery`)
+	var sb strings.Builder
+	failures := compare(oldRes, newRes, gate, true, 15, &sb)
+	if len(failures) != 1 || failures[0] != "BenchmarkRepeatedQueryWarm" {
+		t.Fatalf("failures = %v, want the missing gated benchmark", failures)
+	}
+	if !strings.Contains(sb.String(), "FAIL (gated benchmark missing)") {
+		t.Errorf("report does not flag the missing gated benchmark:\n%s", sb.String())
+	}
+}
+
+func TestCompareNoGateNeverFails(t *testing.T) {
+	oldRes := []benchResult{mkBench("BenchmarkX", 1000)}
+	newRes := []benchResult{mkBench("BenchmarkX", 9000)}
+	var sb strings.Builder
+	if failures := compare(oldRes, newRes, regexp.MustCompile(""), false, 15, &sb); len(failures) != 0 {
+		t.Fatalf("ungated compare failed: %v", failures)
+	}
+}
+
+func TestRecordWritesSchemaJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"record", "-in", in, "-out", out, "-note", "unit test"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != "uu-bench/v1" {
+		t.Errorf("schema = %q", rec.Schema)
+	}
+	if rec.NumCPU <= 0 || rec.GOMAXPROCS <= 0 || rec.Go == "" {
+		t.Errorf("environment not recorded: %+v", rec)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("recorded %d benchmarks, want 3", len(rec.Benchmarks))
+	}
+	// Sorted by name for stable diffs.
+	for i := 1; i < len(rec.Benchmarks); i++ {
+		if rec.Benchmarks[i-1].Name > rec.Benchmarks[i].Name {
+			t.Errorf("benchmarks not sorted: %q before %q", rec.Benchmarks[i-1].Name, rec.Benchmarks[i].Name)
+		}
+	}
+}
+
+func TestCompareCommandExitsNonZeroViaError(t *testing.T) {
+	dir := t.TempDir()
+	oldF := filepath.Join(dir, "old.txt")
+	newF := filepath.Join(dir, "new.txt")
+	os.WriteFile(oldF, []byte("BenchmarkX-8 100 1000 ns/op\n"), 0o644)
+	os.WriteFile(newF, []byte("BenchmarkX-8 100 2000 ns/op\n"), 0o644)
+	var sb strings.Builder
+	err := run([]string{"compare", "-old", oldF, "-new", newF, "-gate", "BenchmarkX", "-threshold", "15"}, &sb)
+	if err == nil {
+		t.Fatal("gated 2x regression did not error")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkX") {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+}

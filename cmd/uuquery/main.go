@@ -76,6 +76,10 @@ func run() error {
 	loadFile := flag.String("load", "", "restore the database from a JSON snapshot instead of a built-in data set")
 	saveFile := flag.String("save", "", "write the loaded database to a JSON snapshot after querying")
 	diagnose := flag.Bool("diagnose", false, "print an integration health report for the queried table")
+	useCache := flag.Bool("cache", true, "enable the whole-result query cache (scan caches are always on)")
+	cacheBytes := flag.Int("cache-bytes", 64<<20, "result cache budget in bytes")
+	repeat := flag.Int("repeat", 1, "run the query N times (repeats exercise the caches)")
+	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/bytes statistics after querying")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +90,9 @@ func run() error {
 	}
 
 	db := engine.DB{Estimators: engine.DefaultEstimators()}
+	if *useCache {
+		db.EnableResultCache(*cacheBytes)
+	}
 	var tbl *engine.Table
 	var truth float64
 	haveTruth := false
@@ -172,9 +179,16 @@ func run() error {
 		sql = flag.Arg(0)
 	}
 
-	res, err := db.Query(sql)
-	if err != nil {
-		return err
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var res *engine.Result
+	for i := 0; i < *repeat; i++ {
+		r, err := db.Query(sql)
+		if err != nil {
+			return err
+		}
+		res = r
 	}
 
 	fmt.Printf("loaded:    %d observations, %d unique entities, %d sources\n",
@@ -192,7 +206,8 @@ func run() error {
 		for _, w := range res.Warnings {
 			fmt.Println("warning:  ", w)
 		}
-		return saveSnapshot(db, *saveFile)
+		printCacheStats(&db, *cacheStats)
+		return saveSnapshot(&db, *saveFile)
 	}
 	fmt.Printf("observed:  %.2f   (closed-world answer)\n", res.Observed)
 	if haveTruth {
@@ -250,11 +265,26 @@ func run() error {
 		}
 		fmt.Println("\n" + diag.String())
 	}
-	return saveSnapshot(db, *saveFile)
+	printCacheStats(&db, *cacheStats)
+	return saveSnapshot(&db, *saveFile)
+}
+
+// printCacheStats reports the engine's cache counters (compiled filter
+// programs, per-shard selection bitmaps, whole-query results) when
+// requested via -cachestats.
+func printCacheStats(db *engine.DB, enabled bool) {
+	if !enabled {
+		return
+	}
+	s := db.CacheStats()
+	fmt.Printf("cache:     programs %d hits / %d misses; bitmaps %d hits / %d misses (%d bytes, %d evictions)\n",
+		s.ProgramHits, s.ProgramMisses, s.BitmapHits, s.BitmapMisses, s.BitmapBytes, s.BitmapEvictions)
+	fmt.Printf("           results %d hits / %d misses (%d bytes, %d evictions)\n",
+		s.ResultHits, s.ResultMisses, s.ResultBytes, s.ResultEvictions)
 }
 
 // saveSnapshot writes the database to path when set.
-func saveSnapshot(db engine.DB, path string) error {
+func saveSnapshot(db *engine.DB, path string) error {
 	if path == "" {
 		return nil
 	}

@@ -1,0 +1,432 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sqlparse"
+)
+
+// Query caching. Three layers, from cheapest to broadest:
+//
+//  1. Compiled-filter programs. A filterProgram is a pure function of
+//     (schema, canonical predicate text); the schema is fixed at table
+//     creation, so per table each predicate compiles exactly once and is
+//     shared by every subsequent query (programs are stateless at eval
+//     time). The cache carries the table's schema version so a future
+//     ALTER TABLE only has to bump the version to invalidate everything.
+//  2. Per-shard selection bitmaps. The bitmap a program produces over a
+//     shard depends only on the shard's rows, which change exactly when
+//     the shard's write epoch changes: every mutating Insert bumps the
+//     epoch under the shard's write lock. A cached bitmap therefore
+//     stays valid while `built-at epoch == current epoch`, is shared
+//     across scans within a query (Sample + GroupedSamples on the same
+//     WHERE) and across repeated queries, and is dropped the moment its
+//     epoch is stale. Cached bitmaps are immutable once published.
+//  3. Whole query results (executor level, opt-in — see resultCache in
+//     executor.go wiring). Keyed by (table identity, canonical SQL,
+//     estimator configuration) plus the full vector of shard epochs
+//     captured during the scan, so a hit is only possible when not a
+//     single observation changed since the cached run.
+//
+// All layers are safe for concurrent use and bounded: programs by entry
+// count, bitmaps and results by an approximate byte budget with LRU
+// eviction.
+
+// Default cache bounds for new tables.
+const (
+	defaultProgramCacheEntries = 128
+	defaultBitmapCacheBytes    = 8 << 20 // 8 MiB of selection bitmaps per table
+)
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+// Table.CacheStats fills the program/bitmap layers; DB.CacheStats
+// aggregates every table and adds the result layer.
+type CacheStats struct {
+	ProgramHits, ProgramMisses uint64
+	BitmapHits, BitmapMisses   uint64
+	BitmapEvictions            uint64
+	BitmapBytes                int
+	ResultHits, ResultMisses   uint64
+	ResultEvictions            uint64
+	ResultBytes                int
+}
+
+// add accumulates other into s (for DB-level aggregation).
+func (s *CacheStats) add(other CacheStats) {
+	s.ProgramHits += other.ProgramHits
+	s.ProgramMisses += other.ProgramMisses
+	s.BitmapHits += other.BitmapHits
+	s.BitmapMisses += other.BitmapMisses
+	s.BitmapEvictions += other.BitmapEvictions
+	s.BitmapBytes += other.BitmapBytes
+	s.ResultHits += other.ResultHits
+	s.ResultMisses += other.ResultMisses
+	s.ResultEvictions += other.ResultEvictions
+	s.ResultBytes += other.ResultBytes
+}
+
+// filterKey canonicalizes a predicate for cache keys. Expr.String renders
+// the parse tree back to SQL deterministically, so structurally equal
+// predicates share one key regardless of which query object they came
+// from. nil (keep everything) canonicalizes to "".
+func filterKey(e sqlparse.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}
+
+// bitmapKey addresses one shard's selection bitmap for one predicate.
+type bitmapKey struct {
+	expr  string
+	shard int
+}
+
+type progEntry struct {
+	key  string
+	prog *filterProgram
+}
+
+type bitmapEntry struct {
+	key   bitmapKey
+	epoch uint64
+	bits  *bitmap // immutable once stored
+	bytes int
+}
+
+// scanCache is a table's layer-1 + layer-2 cache. One mutex guards both
+// LRU structures; hit/miss counters are atomics so CacheStats reads do
+// not need the lock.
+type scanCache struct {
+	mu            sync.Mutex
+	schemaVersion uint64
+
+	progs    map[string]*list.Element // of *progEntry
+	progLRU  list.List
+	maxProgs int
+
+	bitmaps  map[bitmapKey]*list.Element // of *bitmapEntry
+	bmLRU    list.List
+	bmBytes  int
+	maxBytes int
+
+	progHits, progMisses atomic.Uint64
+	bmHits, bmMisses     atomic.Uint64
+	bmEvictions          atomic.Uint64
+}
+
+func newScanCache(maxProgs, maxBytes int) *scanCache {
+	return &scanCache{
+		progs:    make(map[string]*list.Element),
+		bitmaps:  make(map[bitmapKey]*list.Element),
+		maxProgs: maxProgs,
+		maxBytes: maxBytes,
+	}
+}
+
+// setLimits reconfigures the bounds; zero disables (and clears) the
+// respective layer.
+func (c *scanCache) setLimits(maxProgs, maxBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxProgs = maxProgs
+	c.maxBytes = maxBytes
+	c.evictLocked()
+}
+
+// bumpSchemaVersion invalidates both layers. Nothing calls it today —
+// schemas are immutable after NewTable — but it is the seam an ALTER
+// TABLE implementation must go through.
+func (c *scanCache) bumpSchemaVersion() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.schemaVersion++
+	c.progs = make(map[string]*list.Element)
+	c.progLRU.Init()
+	c.bitmaps = make(map[bitmapKey]*list.Element)
+	c.bmLRU.Init()
+	c.bmBytes = 0
+}
+
+// lookupProgram returns the cached compiled program for a predicate key.
+func (c *scanCache) lookupProgram(key string) (*filterProgram, bool) {
+	c.mu.Lock()
+	e, ok := c.progs[key]
+	if ok {
+		c.progLRU.MoveToFront(e)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.progMisses.Add(1)
+		return nil, false
+	}
+	c.progHits.Add(1)
+	return e.Value.(*progEntry).prog, true
+}
+
+func (c *scanCache) storeProgram(key string, prog *filterProgram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxProgs <= 0 {
+		return
+	}
+	if e, ok := c.progs[key]; ok {
+		// A concurrent miss compiled the same predicate; keep the newer
+		// program (they are interchangeable) and just refresh recency.
+		e.Value.(*progEntry).prog = prog
+		c.progLRU.MoveToFront(e)
+		return
+	}
+	c.progs[key] = c.progLRU.PushFront(&progEntry{key: key, prog: prog})
+	c.evictLocked()
+}
+
+// lookupBitmap returns the cached selection bitmap for (key, shard) if it
+// was built at exactly the given epoch. A stale entry is removed on the
+// spot (its epoch can never match again — epochs only grow). The returned
+// bitmap is shared and must be treated read-only.
+func (c *scanCache) lookupBitmap(key string, shard int, epoch uint64) (*bitmap, bool) {
+	k := bitmapKey{expr: key, shard: shard}
+	c.mu.Lock()
+	e, ok := c.bitmaps[k]
+	if ok {
+		ent := e.Value.(*bitmapEntry)
+		if ent.epoch == epoch {
+			c.bmLRU.MoveToFront(e)
+			c.mu.Unlock()
+			c.bmHits.Add(1)
+			return ent.bits, true
+		}
+		c.removeBitmapLocked(e)
+	}
+	c.mu.Unlock()
+	c.bmMisses.Add(1)
+	return nil, false
+}
+
+// bitmapFootprint is the byte charge for caching an n-bit bitmap.
+func bitmapFootprint(nbits int) int {
+	return ((nbits+63)/64)*8 + 64
+}
+
+// acceptsBitmap reports whether the cache would keep an n-bit bitmap at
+// all. Scans consult it before evaluation so that when the answer is no
+// (cache disabled, or the shard too large for the budget) they can use a
+// pooled scratch bitmap instead of allocating one for the cache to
+// reject.
+func (c *scanCache) acceptsBitmap(nbits int) bool {
+	nbytes := bitmapFootprint(nbits)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes > 0 && nbytes <= c.maxBytes
+}
+
+// storeBitmap publishes a freshly computed selection bitmap. The cache
+// takes ownership: the caller must not mutate bits afterwards.
+func (c *scanCache) storeBitmap(key string, shard int, epoch uint64, bits *bitmap) {
+	nbytes := bitmapFootprint(bits.n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes <= 0 || nbytes > c.maxBytes {
+		return
+	}
+	k := bitmapKey{expr: key, shard: shard}
+	if e, ok := c.bitmaps[k]; ok {
+		c.removeBitmapLocked(e)
+	}
+	c.bitmaps[k] = c.bmLRU.PushFront(&bitmapEntry{key: k, epoch: epoch, bits: bits, bytes: nbytes})
+	c.bmBytes += nbytes
+	c.evictLocked()
+}
+
+func (c *scanCache) removeBitmapLocked(e *list.Element) {
+	ent := e.Value.(*bitmapEntry)
+	c.bmLRU.Remove(e)
+	delete(c.bitmaps, ent.key)
+	c.bmBytes -= ent.bytes
+}
+
+// evictLocked drops LRU entries until both layers fit their bounds.
+// In-flight scans holding a dropped bitmap keep their reference; the
+// entry simply stops being findable.
+func (c *scanCache) evictLocked() {
+	for c.bmBytes > c.maxBytes && c.bmLRU.Len() > 0 {
+		c.removeBitmapLocked(c.bmLRU.Back())
+		c.bmEvictions.Add(1)
+	}
+	for c.progLRU.Len() > 0 && c.progLRU.Len() > c.maxProgs {
+		oldest := c.progLRU.Back()
+		c.progLRU.Remove(oldest)
+		delete(c.progs, oldest.Value.(*progEntry).key)
+	}
+}
+
+// stats snapshots the scan-layer counters.
+func (c *scanCache) stats() CacheStats {
+	c.mu.Lock()
+	bytes := c.bmBytes
+	c.mu.Unlock()
+	return CacheStats{
+		ProgramHits:     c.progHits.Load(),
+		ProgramMisses:   c.progMisses.Load(),
+		BitmapHits:      c.bmHits.Load(),
+		BitmapMisses:    c.bmMisses.Load(),
+		BitmapEvictions: c.bmEvictions.Load(),
+		BitmapBytes:     bytes,
+	}
+}
+
+// resultKey identifies a whole-query result: which table object (the id
+// survives DROP + re-CREATE under the same name), which canonical query,
+// which estimator configuration, and the exact shard epochs the scan ran
+// at. Epochs are part of the key, so invalidation is free: any mutation
+// bumps an epoch and every later lookup simply misses.
+type resultKey struct {
+	table  uint64
+	query  string
+	config string
+	epochs [numShards]uint64
+}
+
+type resultEntry struct {
+	key   resultKey
+	res   *Result
+	bytes int
+}
+
+// resultBase is a resultKey without the epochs: all entries sharing a
+// base answer the same (table, query, config), just at different data
+// versions — of which only the newest can ever hit again.
+type resultBase struct {
+	table  uint64
+	query  string
+	config string
+}
+
+func (k resultKey) base() resultBase {
+	return resultBase{table: k.table, query: k.query, config: k.config}
+}
+
+// resultCache is the executor's opt-in layer-3 cache. Cached *Result
+// values are shared between callers and must be treated read-only.
+type resultCache struct {
+	mu       sync.Mutex
+	entries  map[resultKey]*list.Element // of *resultEntry
+	latest   map[resultBase]*list.Element
+	lru      list.List
+	bytes    int
+	maxBytes int
+
+	hits, misses, evictions atomic.Uint64
+}
+
+func newResultCache(maxBytes int) *resultCache {
+	return &resultCache{
+		entries:  make(map[resultKey]*list.Element),
+		latest:   make(map[resultBase]*list.Element),
+		maxBytes: maxBytes,
+	}
+}
+
+func (c *resultCache) lookup(key resultKey) (*Result, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(e)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Value.(*resultEntry).res, true
+}
+
+func (c *resultCache) store(key resultKey, res *Result) {
+	nbytes := approxResultBytes(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Replace any entry for the same (table, query, config) at an older
+	// epoch vector: epochs only grow, so once a newer version exists the
+	// older one can never hit again — under write churn it would just sit
+	// dead in the budget until LRU pressure found it. The replacement is
+	// one-directional: a concurrent query that scanned before a write may
+	// try to store its (now unreachable) older-epoch result after the
+	// fresher one landed, and must not displace it. Epoch vectors of one
+	// table are componentwise ordered (scans snapshot under all read
+	// locks), so "older" is well-defined.
+	if prev, ok := c.latest[key.base()]; ok {
+		pe := prev.Value.(*resultEntry).key.epochs
+		if pe != key.epochs && epochsDominate(pe, key.epochs) {
+			return // incoming result is staler than the cached one
+		}
+		c.removeLocked(prev)
+	}
+	if nbytes > c.maxBytes {
+		return
+	}
+	e := c.lru.PushFront(&resultEntry{key: key, res: res, bytes: nbytes})
+	c.entries[key] = e
+	c.latest[key.base()] = e
+	c.bytes += nbytes
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		c.removeLocked(c.lru.Back())
+		c.evictions.Add(1)
+	}
+}
+
+// epochsDominate reports whether every component of a is >= b.
+func epochsDominate(a, b [numShards]uint64) bool {
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *resultCache) removeLocked(e *list.Element) {
+	ent := e.Value.(*resultEntry)
+	c.lru.Remove(e)
+	delete(c.entries, ent.key)
+	if c.latest[ent.key.base()] == e {
+		delete(c.latest, ent.key.base())
+	}
+	c.bytes -= ent.bytes
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	bytes := c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		ResultHits:      c.hits.Load(),
+		ResultMisses:    c.misses.Load(),
+		ResultEvictions: c.evictions.Load(),
+		ResultBytes:     bytes,
+	}
+}
+
+// approxResultBytes estimates the retained size of a cached Result. The
+// samples dominate; fixed costs are charged at flat rates. Used only for
+// the result cache's byte budget.
+func approxResultBytes(res *Result) int {
+	const base = 512
+	n := base + len(res.Estimates)*160
+	for _, w := range res.Warnings {
+		n += len(w) + 16
+	}
+	if res.Sample != nil {
+		n += res.Sample.FootprintBytes()
+	}
+	for _, g := range res.Groups {
+		n += base
+		if g.Result != nil {
+			n += approxResultBytes(g.Result)
+		}
+	}
+	return n
+}

@@ -3,6 +3,9 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/freqstats"
@@ -15,8 +18,43 @@ import (
 type DB struct {
 	tables map[string]*Table
 	// Estimators are the unknown-unknowns estimators attached to query
-	// results; nil means DefaultEstimators.
+	// results; nil means DefaultEstimators. Like CreateTable, reassigning
+	// it is not synchronized with in-flight queries — configure before
+	// serving concurrent traffic.
 	Estimators []core.SumEstimator
+	// results is the opt-in whole-result cache (EnableResultCache); nil
+	// when disabled. Atomic so enabling/disabling at runtime is safe
+	// against concurrent queries.
+	results atomic.Pointer[resultCache]
+}
+
+// EnableResultCache turns on whole-query result caching with the given
+// approximate byte budget (maxBytes <= 0 disables). Results are cached
+// keyed by (table, canonical query, estimator configuration) and the
+// exact vector of shard write epochs the scan observed, so any insert
+// that changes the table invalidates its entries implicitly. Cached
+// *Result values are shared between callers and must be treated
+// read-only. Enabling replaces any previous result cache (and its
+// statistics); it is safe to call while queries are running.
+func (db *DB) EnableResultCache(maxBytes int) {
+	if maxBytes <= 0 {
+		db.results.Store(nil)
+		return
+	}
+	db.results.Store(newResultCache(maxBytes))
+}
+
+// CacheStats aggregates cache counters across every registered table's
+// scan caches plus the result cache (zero-valued fields when disabled).
+func (db *DB) CacheStats() CacheStats {
+	var stats CacheStats
+	for _, t := range db.tables {
+		stats.add(t.CacheStats())
+	}
+	if rc := db.results.Load(); rc != nil {
+		stats.add(rc.stats())
+	}
+	return stats
 }
 
 // DefaultEstimators returns the paper's four SUM estimators in their
@@ -209,8 +247,21 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 	if attr == "*" {
 		attr = ""
 	}
+	rc := db.results.Load()
+	var baseKey resultKey
+	if rc != nil {
+		baseKey = resultKey{table: t.id, query: q.String(), config: db.estimatorsConfig()}
+		lookup := baseKey
+		lookup.epochs = t.epochVector()
+		if res, ok := rc.lookup(lookup); ok {
+			if err := verifyCachedResult(t, attr, q, res, lookup.epochs); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+	}
 	if q.GroupBy != "" {
-		groups, err := t.GroupedSamples(attr, q.GroupBy, q.Where)
+		groups, epochs, err := t.groupedSamplesWithEpochs(attr, q.GroupBy, q.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -236,13 +287,93 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 			res.Warnings = []string{"no records match the predicate; estimates are meaningless"}
 			res.Groups = nil
 		}
+		if rc != nil {
+			baseKey.epochs = epochs
+			rc.store(baseKey, res)
+		}
 		return res, nil
 	}
-	sample, err := t.Sample(attr, q.Where)
+	sample, epochs, err := t.sampleWithEpochs(attr, q.Where)
 	if err != nil {
 		return nil, err
 	}
-	return db.executeOnSample(q, sample)
+	res, err := db.executeOnSample(q, sample)
+	if err != nil {
+		return nil, err
+	}
+	if rc != nil {
+		// Keyed by the epochs observed under the scan's read locks, so the
+		// entry corresponds to exactly the data version the result was
+		// computed from even if writers landed since.
+		baseKey.epochs = epochs
+		rc.store(baseKey, res)
+	}
+	return res, nil
+}
+
+// estimators returns the active estimator set (Estimators or the paper's
+// defaults).
+func (db *DB) estimators() []core.SumEstimator {
+	if db.Estimators != nil {
+		return db.Estimators
+	}
+	return DefaultEstimators()
+}
+
+// defaultEstimatorsCfg memoizes the DefaultEstimators fingerprint (the
+// defaults are fixed; rendering them needs no live slice).
+var (
+	defaultEstimatorsCfg     string
+	defaultEstimatorsCfgOnce sync.Once
+)
+
+// estimatorsConfig fingerprints the DB's estimator configuration for
+// result-cache keys: the concrete type and every exported knob of each
+// estimator, in order. Two DBs with the same rendered configuration
+// produce identical estimates for identical samples. Rendered per query
+// (it is cheap next to even a cache hit's lock round), so in-place
+// estimator mutations are picked up naturally.
+func (db *DB) estimatorsConfig() string {
+	if db.Estimators == nil {
+		defaultEstimatorsCfgOnce.Do(func() {
+			defaultEstimatorsCfg = renderEstimators(DefaultEstimators())
+		})
+		return defaultEstimatorsCfg
+	}
+	return renderEstimators(db.Estimators)
+}
+
+func renderEstimators(ests []core.SumEstimator) string {
+	var sb strings.Builder
+	for _, e := range ests {
+		fmt.Fprintf(&sb, "%T%+v;", e, e)
+	}
+	return sb.String()
+}
+
+// verifyCachedResult is the result cache's test-time guard: with the
+// engine's selfCheck enabled (see table.go), a non-grouped cache hit
+// re-scans the table and compares sample fingerprints, proving the epoch
+// keying never serves a result for data that has since changed. The
+// comparison only counts when the re-scan observed the same epochs the
+// hit was keyed by — a writer landing in between makes the pair
+// incomparable, not wrong.
+func verifyCachedResult(t *Table, attr string, q *sqlparse.Query, res *Result, epochs [numShards]uint64) error {
+	if !selfCheck || res.Sample == nil {
+		return nil
+	}
+	fresh, freshEpochs, err := t.sampleWithEpochs(attr, q.Where)
+	if err != nil {
+		return err
+	}
+	if freshEpochs != epochs {
+		return nil
+	}
+	if fresh.Fingerprint() != res.Sample.Fingerprint() {
+		return fmt.Errorf("engine: result cache self-check failed: cached sample fingerprint %x != fresh %x for %s",
+			res.Sample.Fingerprint(), fresh.Fingerprint(), q)
+	}
+	return nil
 }
 
 // executeOnSample runs the aggregate and all estimators over one
@@ -257,10 +388,7 @@ func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Res
 		res.Coverage = cov
 	}
 
-	estimators := db.Estimators
-	if estimators == nil {
-		estimators = DefaultEstimators()
-	}
+	estimators := db.estimators()
 
 	switch q.Agg {
 	case sqlparse.AggSum:

@@ -168,6 +168,14 @@ type shard struct {
 	cols    []colVector
 	lineage [][]int32 // per-row sorted table-interned source IDs (the source multiset)
 	nObs    int
+
+	// epoch counts the shard's mutations: every Insert that changes the
+	// shard (a new row or a new lineage mention) bumps it under the write
+	// lock. Cached selection bitmaps and whole-query results are keyed by
+	// the epoch they were built at and are served only while the epoch
+	// still matches, so a reader can never observe cached state from
+	// before a write it could otherwise see (see cache.go).
+	epoch uint64
 }
 
 func (sh *shard) rows() int { return len(sh.ids) }
@@ -183,6 +191,13 @@ type Table struct {
 	colIdx map[string]int
 	shards [numShards]*shard
 	seq    atomic.Uint64
+
+	// id is process-unique, so DB-level caches keyed by it can never
+	// confuse a dropped table with a later one created under the same
+	// name. cache holds the table's compiled-filter and selection-bitmap
+	// caches (see cache.go).
+	id    uint64
+	cache *scanCache
 
 	// Source registry: source names are interned once per table into dense
 	// int32 IDs, so lineage rows are small integer vectors and query scans
@@ -212,7 +227,14 @@ func NewTable(name string, schema Schema) (*Table, error) {
 		}
 		colIdx[c.Name] = i
 	}
-	t := &Table{name: name, schema: schema, colIdx: colIdx, srcIDs: make(map[string]int32)}
+	t := &Table{
+		name:   name,
+		schema: schema,
+		colIdx: colIdx,
+		srcIDs: make(map[string]int32),
+		id:     tableIDs.Add(1),
+		cache:  newScanCache(defaultProgramCacheEntries, defaultBitmapCacheBytes),
+	}
 	for i := range t.shards {
 		sh := &shard{index: make(map[string]int), cols: make([]colVector, len(schema))}
 		for ci, c := range schema {
@@ -223,8 +245,25 @@ func NewTable(name string, schema Schema) (*Table, error) {
 	return t, nil
 }
 
+// tableIDs hands out process-unique table identities (see Table.id).
+var tableIDs atomic.Uint64
+
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// SetScanCacheLimits reconfigures the table's scan caches: maxPrograms
+// bounds the compiled-filter cache (entries), maxBitmapBytes bounds the
+// selection-bitmap cache (approximate bytes). Zero disables and clears
+// the respective layer; new tables start at the package defaults.
+func (t *Table) SetScanCacheLimits(maxPrograms, maxBitmapBytes int) {
+	t.cache.setLimits(maxPrograms, maxBitmapBytes)
+}
+
+// CacheStats snapshots the table's compiled-filter and selection-bitmap
+// cache counters.
+func (t *Table) CacheStats() CacheStats {
+	return t.cache.stats()
+}
 
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.schema }
@@ -354,6 +393,11 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 	srcs[pos] = sid
 	sh.lineage[row] = srcs
 	sh.nObs++
+	// The shard changed (new row and/or new lineage mention): bump the
+	// write epoch so cached bitmaps and results built before this insert
+	// stop matching. The idempotent re-insert path above returns without
+	// bumping — nothing changed, caches stay warm.
+	sh.epoch++
 	if exists {
 		if err := t.checkConsistent(sh, row, attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
@@ -566,28 +610,62 @@ func (p *samplePart) keepRow(sh *shard, row int, value float64) {
 	})
 }
 
+// selectionFor returns the selection bitmap of the compiled predicate
+// over one shard: every row for a nil program, the cached bitmap when the
+// scan cache holds one built at the shard's current epoch, and otherwise
+// a fresh evaluation whose result is published to the cache. The caller
+// must hold the shard's read lock (so the epoch cannot move under the
+// lookup) and must treat the returned bitmap as read-only; cleanup
+// returns any pooled scratch.
+func (t *Table) selectionFor(sh *shard, si int, key string, prog *filterProgram) (sel *bitmap, cleanup func(), err error) {
+	n := sh.rows()
+	if prog == nil {
+		all := borrowBitmap(n)
+		all.setAll()
+		return all, func() { releaseBitmap(all) }, nil
+	}
+	if bits, ok := t.cache.lookupBitmap(key, si, sh.epoch); ok {
+		return bits, func() {}, nil
+	}
+	full := borrowBitmap(n)
+	full.setAll()
+	defer releaseBitmap(full)
+	if !t.cache.acceptsBitmap(n) {
+		// Cache off (or shard over budget): pure pooled path, identical
+		// to the pre-cache scan.
+		out := borrowBitmap(n)
+		if err := prog.eval(sh, full, out); err != nil {
+			releaseBitmap(out)
+			return nil, nil, fmt.Errorf("engine: %s: %w", t.name, err)
+		}
+		return out, func() { releaseBitmap(out) }, nil
+	}
+	// The result bitmap is allocated outside the pool: on store the cache
+	// takes ownership and later scans share it read-only.
+	out := newBitmap(n)
+	if err := prog.eval(sh, full, out); err != nil {
+		return nil, nil, fmt.Errorf("engine: %s: %w", t.name, err)
+	}
+	t.cache.storeBitmap(key, si, sh.epoch, out)
+	return out, func() {}, nil
+}
+
 // scanShard filters one shard with the compiled predicate and collects the
 // kept rows with their lineage. attrCol < 0 means COUNT(*)-style
-// aggregation (value 0, NULLs kept). The shard must be read-locked by the
-// caller.
-func (t *Table) scanShard(sh *shard, attrCol int, prog *filterProgram) (*samplePart, error) {
+// aggregation (value 0, NULLs kept). key is the predicate's cache key
+// (filterKey). The shard must be read-locked by the caller.
+func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterProgram) (*samplePart, error) {
 	n := sh.rows()
 	part := &samplePart{}
 	if n == 0 {
 		return part, nil
 	}
-	sel := borrowBitmap(n)
-	defer releaseBitmap(sel)
-	sel.setAll()
-	if prog != nil {
-		out := borrowBitmap(n)
-		defer releaseBitmap(out)
-		if err := prog.eval(sh, sel, out); err != nil {
-			return nil, fmt.Errorf("engine: %s: %w", t.name, err)
-		}
-		sel.copyFrom(out)
+	sel, cleanup, err := t.selectionFor(sh, si, key, prog)
+	if err != nil {
+		return nil, err
 	}
-	err := sel.forEach(func(row int) error {
+	defer cleanup()
+	err = sel.forEach(func(row int) error {
 		var value float64
 		if attrCol >= 0 {
 			col := &sh.cols[attrCol]
@@ -694,19 +772,31 @@ func (t *Table) checkAggregateColumn(attr string) (int, error) {
 // runs shard-parallel with the predicate compiled once into a vectorized
 // filter.
 func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, error) {
+	s, _, err := t.sampleWithEpochs(attr, where)
+	return s, err
+}
+
+// sampleWithEpochs is Sample plus the vector of shard write epochs
+// observed under the scan's read locks — the exact version of the data
+// the sample was built from, used by the executor's result cache.
+func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.Sample, [numShards]uint64, error) {
+	var epochs [numShards]uint64
 	attrCol, err := t.checkAggregateColumn(attr)
 	if err != nil {
-		return nil, err
+		return nil, epochs, err
 	}
-	prog, err := compileFilter(t.schema, t.colIdx, where)
+	prog, key, err := t.compiledFilter(where)
 	if err != nil {
-		return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+		return nil, epochs, err
 	}
 	parts := make([]*samplePart, numShards)
 	release := t.rlockAll()
 	names := t.sourceNameTable()
+	for i, sh := range t.shards {
+		epochs[i] = sh.epoch
+	}
 	err = t.forEachShard(func(i int, sh *shard) error {
-		p, err := t.scanShard(sh, attrCol, prog)
+		p, err := t.scanShard(sh, i, attrCol, key, prog)
 		if err != nil {
 			return err
 		}
@@ -715,9 +805,42 @@ func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, err
 	})
 	release()
 	if err != nil {
-		return nil, err
+		return nil, epochs, err
 	}
-	return mergeParts(names, parts)
+	s, err := mergeParts(names, parts)
+	return s, epochs, err
+}
+
+// compiledFilter returns the compiled program for a predicate, reusing
+// the table's program cache: programs are pure functions of (schema,
+// canonical predicate text) and the schema is fixed at creation, so each
+// predicate compiles once per table. The canonical key is returned for
+// the downstream bitmap cache.
+func (t *Table) compiledFilter(where sqlparse.Expr) (*filterProgram, string, error) {
+	if where == nil {
+		return nil, "", nil
+	}
+	key := filterKey(where)
+	if prog, ok := t.cache.lookupProgram(key); ok {
+		return prog, key, nil
+	}
+	prog, err := compileFilter(t.schema, t.colIdx, where)
+	if err != nil {
+		return nil, "", fmt.Errorf("engine: %s: %w", t.name, err)
+	}
+	t.cache.storeProgram(key, prog)
+	return prog, key, nil
+}
+
+// epochVector snapshots every shard's write epoch under the read locks.
+func (t *Table) epochVector() [numShards]uint64 {
+	var epochs [numShards]uint64
+	release := t.rlockAll()
+	for i, sh := range t.shards {
+		epochs[i] = sh.epoch
+	}
+	release()
+	return epochs
 }
 
 // groupPart is one shard's contribution to one GROUP BY group.
@@ -733,23 +856,34 @@ type groupPart struct {
 // deterministic output. Records whose groupBy value is NULL form their own
 // group, mirroring SQL.
 func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]GroupSample, error) {
+	g, _, err := t.groupedSamplesWithEpochs(attr, groupBy, where)
+	return g, err
+}
+
+// groupedSamplesWithEpochs is GroupedSamples plus the shard epoch vector
+// observed during the scan (see sampleWithEpochs).
+func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Expr) ([]GroupSample, [numShards]uint64, error) {
+	var epochs [numShards]uint64
 	groupCol, ok := t.colIdx[groupBy]
 	if !ok {
-		return nil, fmt.Errorf("engine: %s: unknown GROUP BY column %q", t.name, groupBy)
+		return nil, epochs, fmt.Errorf("engine: %s: unknown GROUP BY column %q", t.name, groupBy)
 	}
 	attrCol, err := t.checkAggregateColumn(attr)
 	if err != nil {
-		return nil, err
+		return nil, epochs, err
 	}
-	prog, err := compileFilter(t.schema, t.colIdx, where)
+	prog, key, err := t.compiledFilter(where)
 	if err != nil {
-		return nil, fmt.Errorf("engine: %s: %w", t.name, err)
+		return nil, epochs, err
 	}
 	shardGroups := make([]map[string]*groupPart, numShards)
 	release := t.rlockAll()
 	names := t.sourceNameTable()
+	for i, sh := range t.shards {
+		epochs[i] = sh.epoch
+	}
 	err = t.forEachShard(func(i int, sh *shard) error {
-		g, err := t.scanShardGrouped(sh, attrCol, groupCol, prog)
+		g, err := t.scanShardGrouped(sh, i, attrCol, groupCol, key, prog)
 		if err != nil {
 			return err
 		}
@@ -758,7 +892,7 @@ func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]Gro
 	})
 	release()
 	if err != nil {
-		return nil, err
+		return nil, epochs, err
 	}
 
 	// Merge per-shard groups by key.
@@ -782,33 +916,27 @@ func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]Gro
 		}
 		sample, err := mergeParts(names, parts)
 		if err != nil {
-			return nil, err
+			return nil, epochs, err
 		}
 		out = append(out, GroupSample{Key: gps[0].key, Sample: sample})
 	}
-	return out, nil
+	return out, epochs, nil
 }
 
 // scanShardGrouped is scanShard with a per-group partition step. The shard
 // must be read-locked by the caller.
-func (t *Table) scanShardGrouped(sh *shard, attrCol, groupCol int, prog *filterProgram) (map[string]*groupPart, error) {
+func (t *Table) scanShardGrouped(sh *shard, si, attrCol, groupCol int, key string, prog *filterProgram) (map[string]*groupPart, error) {
 	n := sh.rows()
 	groups := map[string]*groupPart{}
 	if n == 0 {
 		return groups, nil
 	}
-	sel := borrowBitmap(n)
-	defer releaseBitmap(sel)
-	sel.setAll()
-	if prog != nil {
-		out := borrowBitmap(n)
-		defer releaseBitmap(out)
-		if err := prog.eval(sh, sel, out); err != nil {
-			return nil, fmt.Errorf("engine: %s: %w", t.name, err)
-		}
-		sel.copyFrom(out)
+	sel, cleanup, err := t.selectionFor(sh, si, key, prog)
+	if err != nil {
+		return nil, err
 	}
-	err := sel.forEach(func(row int) error {
+	defer cleanup()
+	err = sel.forEach(func(row int) error {
 		var value float64
 		if attrCol >= 0 {
 			col := &sh.cols[attrCol]
@@ -817,14 +945,14 @@ func (t *Table) scanShardGrouped(sh *shard, attrCol, groupCol int, prog *filterP
 			}
 			value = col.floats[row]
 		}
-		key, ok := sh.cols[groupCol].value(row)
+		gk, ok := sh.cols[groupCol].value(row)
 		if !ok {
-			key = sqlparse.Null()
+			gk = sqlparse.Null()
 		}
-		keyStr := groupKeyString(key)
+		keyStr := groupKeyString(gk)
 		gp, exists := groups[keyStr]
 		if !exists {
-			gp = &groupPart{key: key}
+			gp = &groupPart{key: gk}
 			groups[keyStr] = gp
 		}
 		gp.part.keepRow(sh, row, value)

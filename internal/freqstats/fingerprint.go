@@ -1,0 +1,91 @@
+package freqstats
+
+import (
+	"math"
+	"sort"
+)
+
+// Cheap content fingerprints for samples, used by the engine's
+// whole-result cache: a cache entry records the fingerprint of the sample
+// it was computed from, so test-time self-checks (and curious operators)
+// can verify that a cache hit really corresponds to the sample a cold
+// scan would rebuild. The fingerprint is order-independent — two samples
+// holding the same observation multiset with the same attribution hash
+// equally regardless of construction order — and collisions are
+// acceptable: it guards against cache bugs, it is not a cryptographic
+// digest.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit content hash of the sample: the entity
+// multiset with values, per-entity source attribution, and the aggregate
+// counters. Entity hashes are combined commutatively, so the fingerprint
+// is independent of observation order; it changes whenever an entity, a
+// value, a count or any attribution cell changes. Cost is O(c + total
+// attribution cells) — cheap next to any estimator pass.
+func (s *Sample) Fingerprint() uint64 {
+	var sum, xor uint64
+	for id, es := range s.ents {
+		h := fnvString(fnvOffset64, id)
+		h = fnvUint64(h, uint64(es.count))
+		h = fnvUint64(h, math.Float64bits(es.value))
+		// Attribution cells are hashed in sorted source-name order so the
+		// per-entity hash does not depend on sample-local ID assignment.
+		cells := make([]srcCount, len(es.srcs))
+		copy(cells, es.srcs)
+		sort.Slice(cells, func(i, j int) bool {
+			return s.srcNames[cells[i].src] < s.srcNames[cells[j].src]
+		})
+		for _, sc := range cells {
+			h = fnvString(h, s.srcNames[sc.src])
+			h = fnvUint64(h, uint64(sc.cnt))
+		}
+		sum += h
+		xor ^= h
+	}
+	out := fnvUint64(fnvOffset64, uint64(s.n))
+	out = fnvUint64(out, uint64(len(s.ents)))
+	out = fnvUint64(out, sum)
+	out = fnvUint64(out, xor)
+	return out
+}
+
+// FootprintBytes estimates the retained heap size of the sample in bytes.
+// It is an accounting approximation (map/slice headers are charged at
+// fixed rates), intended for cache byte budgets, not exact profiling.
+func (s *Sample) FootprintBytes() int {
+	const (
+		entityOverhead = 96 // map bucket share + entityStat + order entry
+		cellBytes      = 8  // srcCount
+		sourceOverhead = 56 // interning map entry + name slot + total slot
+	)
+	n := 256 // struct + map headers
+	for id, es := range s.ents {
+		n += entityOverhead + 2*len(id) + cellBytes*len(es.srcs)
+	}
+	for _, name := range s.srcNames {
+		n += sourceOverhead + len(name)
+	}
+	n += 32 * len(s.fstat)
+	return n
+}

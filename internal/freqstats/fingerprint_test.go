@@ -1,0 +1,90 @@
+package freqstats
+
+import "testing"
+
+func fingerprintSeq() []Observation {
+	return []Observation{
+		obs("A", 1000, "s1"), obs("B", 2000, "s1"), obs("D", 10000, "s1"),
+		obs("A", 1000, "s2"), obs("D", 10000, "s2"),
+		obs("D", 10000, "s3"), obs("D", 10000, "s4"),
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	seq := fingerprintSeq()
+	a := NewSample()
+	if err := a.AddAll(seq); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSample()
+	for i := len(seq) - 1; i >= 0; i-- {
+		if err := b.Add(seq[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ across insertion orders: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Error("Clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := NewSample()
+	if err := base.AddAll(fingerprintSeq()); err != nil {
+		t.Fatal(err)
+	}
+	fp := base.Fingerprint()
+
+	mutations := map[string][]Observation{
+		"extra entity":      append(fingerprintSeq(), obs("E", 5, "s1")),
+		"extra observation": append(fingerprintSeq(), obs("B", 2000, "s2")),
+		"different value":   {obs("A", 1001, "s1"), obs("B", 2000, "s1"), obs("D", 10000, "s1"), obs("A", 1001, "s2"), obs("D", 10000, "s2"), obs("D", 10000, "s3"), obs("D", 10000, "s4")},
+		"different source":  {obs("A", 1000, "s1"), obs("B", 2000, "s9"), obs("D", 10000, "s1"), obs("A", 1000, "s2"), obs("D", 10000, "s2"), obs("D", 10000, "s3"), obs("D", 10000, "s4")},
+		"moved observation": {obs("A", 1000, "s1"), obs("B", 2000, "s1"), obs("D", 10000, "s1"), obs("A", 1000, "s3"), obs("D", 10000, "s2"), obs("D", 10000, "s3"), obs("D", 10000, "s4")},
+	}
+	for name, seq := range mutations {
+		s := NewSample()
+		if err := s.AddAll(seq); err != nil {
+			t.Fatal(err)
+		}
+		if s.Fingerprint() == fp {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+func TestFingerprintFilterMatchesDirectBuild(t *testing.T) {
+	full := NewSample()
+	if err := full.AddAll(fingerprintSeq()); err != nil {
+		t.Fatal(err)
+	}
+	filtered := full.Filter(func(id string, v float64) bool { return v < 5000 })
+
+	direct := NewSample()
+	for _, o := range fingerprintSeq() {
+		if o.Value < 5000 {
+			if err := direct.Add(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if filtered.Fingerprint() != direct.Fingerprint() {
+		t.Errorf("Filter fingerprint %x != direct build %x", filtered.Fingerprint(), direct.Fingerprint())
+	}
+}
+
+func TestFootprintBytesGrows(t *testing.T) {
+	small := NewSample()
+	if err := small.Add(obs("a", 1, "s1")); err != nil {
+		t.Fatal(err)
+	}
+	big := NewSample()
+	if err := big.AddAll(fingerprintSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if small.FootprintBytes() <= 0 || big.FootprintBytes() <= small.FootprintBytes() {
+		t.Errorf("footprints not monotone: small=%d big=%d", small.FootprintBytes(), big.FootprintBytes())
+	}
+}
