@@ -8,8 +8,10 @@ BENCH ?= .
 BENCH_COUNT ?= 1
 BENCH_OUT ?= bench.txt
 BENCH_NOTE ?=
+BENCH_RECORD_OUT ?= BENCH_PR3.json
+FUZZTIME ?= 10s
 
-.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record ci
+.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record fuzz-smoke ci
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -47,10 +49,18 @@ bench-smoke:
 bench-compare:
 	./scripts/bench_compare.sh
 
-# bench-record runs the measured benchmark set and encodes it into the
-# committed perf-trajectory file (see README "Benchmark record").
+# bench-record runs the measured benchmark set and encodes it into a
+# committed perf-trajectory file (see README "Benchmark record"); set
+# BENCH_RECORD_OUT=BENCH_MULTICORE.json to archive a multi-core run.
 bench-record:
 	go test -run=NONE -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) ./... | tee '$(BENCH_OUT)'
-	go run ./cmd/benchgate record -in '$(BENCH_OUT)' -out BENCH_PR3.json -note '$(BENCH_NOTE)'
+	go run ./cmd/benchgate record -in '$(BENCH_OUT)' -out '$(BENCH_RECORD_OUT)' -note '$(BENCH_NOTE)'
 
-ci: fmt vet build race test bench-smoke
+# fuzz-smoke runs each native fuzz target briefly (coverage-guided, so
+# even a short run mutates past the seed corpus). Crashers land in
+# testdata/fuzz and become committed regression seeds.
+fuzz-smoke:
+	go test ./internal/sqlparse -run=NONE -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME)
+	go test ./internal/sqlparse -run=NONE -fuzz='FuzzParsePredicate$$' -fuzztime=$(FUZZTIME)
+
+ci: fmt vet build race test bench-smoke fuzz-smoke

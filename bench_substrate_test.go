@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/quality"
 	"repro/internal/species"
+	"repro/internal/sqlparse"
 )
 
 func BenchmarkQualityClean(b *testing.B) {
@@ -138,6 +139,43 @@ func BenchmarkSnapshotRoundTrip(b *testing.B) {
 		}
 		var restored engine.DB
 		if err := restored.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotWithStagedRows measures Save when the table still has
+// a staged (unflushed) ingestion tail: the snapshot path runs the Flush
+// barrier first, so this bounds the worst-case "persist under streaming"
+// cost next to the warm BenchmarkSnapshotRoundTrip above.
+func BenchmarkSnapshotWithStagedRows(b *testing.B) {
+	obs, err := benchDatasetObservations()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var db engine.DB
+		tbl, err := db.CreateTable("t", engine.Schema{
+			{Name: "name", Type: engine.TypeString},
+			{Name: "value", Type: engine.TypeFloat},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range obs {
+			if err := tbl.Append(o.EntityID, o.Source, map[string]sqlparse.Value{
+				"name":  sqlparse.StringValue(o.EntityID),
+				"value": sqlparse.Number(o.Value),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		b.StartTimer()
+		if err := db.Save(&buf); err != nil {
 			b.Fatal(err)
 		}
 	}

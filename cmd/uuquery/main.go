@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/csvio"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/freqstats"
 	"repro/internal/sqlparse"
 )
 
@@ -80,6 +82,9 @@ func run() error {
 	cacheBytes := flag.Int("cache-bytes", 64<<20, "result cache budget in bytes")
 	repeat := flag.Int("repeat", 1, "run the query N times (repeats exercise the caches)")
 	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/bytes statistics after querying")
+	stream := flag.Bool("stream", false, "ingest through the batched asynchronous pipeline (staging + appliers) instead of per-row inserts")
+	batch := flag.Int("batch", 256, "with -stream: per-shard batch size (drain threshold)")
+	flushEvery := flag.Int("flush-every", 0, "with -stream: run a read-your-writes Flush barrier every N observations (0 = only at the end)")
 	flag.Parse()
 
 	if *list {
@@ -105,12 +110,31 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		t, conflicts, err := engine.LoadCSVTable(&db, "data", "value", f, csvio.Options{})
-		if err != nil {
-			return err
-		}
-		if conflicts > 0 {
-			fmt.Printf("warning:   %d value conflicts in the CSV (first value kept)\n", conflicts)
+		var t *engine.Table
+		if *stream {
+			obs, err := csvio.ReadObservations(f, csvio.Options{})
+			if err != nil {
+				return err
+			}
+			t, err = db.CreateTable("data", engine.Schema{
+				{Name: "name", Type: engine.TypeString},
+				{Name: "value", Type: engine.TypeFloat},
+			})
+			if err != nil {
+				return err
+			}
+			if err := streamObservations(t, obs, "value", *batch, *flushEvery); err != nil {
+				return err
+			}
+		} else {
+			var conflicts int
+			t, conflicts, err = engine.LoadCSVTable(&db, "data", "value", f, csvio.Options{})
+			if err != nil {
+				return err
+			}
+			if conflicts > 0 {
+				fmt.Printf("warning:   %d value conflicts in the CSV (first value kept)\n", conflicts)
+			}
 		}
 		tbl = t
 		sql = "SELECT SUM(value) FROM data"
@@ -159,13 +183,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for _, obs := range d.Stream.Observations[:limit] {
-			err := t.Insert(obs.EntityID, obs.Source, map[string]sqlparse.Value{
-				"name":    sqlparse.StringValue(obs.EntityID),
-				spec.attr: sqlparse.Number(obs.Value),
-			})
-			if err != nil {
+		if *stream {
+			if err := streamObservations(t, d.Stream.Observations[:limit], spec.attr, *batch, *flushEvery); err != nil {
 				return err
+			}
+		} else {
+			for _, obs := range d.Stream.Observations[:limit] {
+				err := t.Insert(obs.EntityID, obs.Source, map[string]sqlparse.Value{
+					"name":    sqlparse.StringValue(obs.EntityID),
+					spec.attr: sqlparse.Number(obs.Value),
+				})
+				if err != nil {
+					return err
+				}
 			}
 		}
 		tbl = t
@@ -267,6 +297,27 @@ func run() error {
 	}
 	printCacheStats(&db, *cacheStats)
 	return saveSnapshot(&db, *saveFile)
+}
+
+// streamObservations replays an observation stream through the batched
+// asynchronous ingestion pipeline (engine.StreamObservations: background
+// appliers at the given batch size, a read-your-writes Flush barrier
+// every flushEvery observations plus once at the end) and prints
+// throughput, ingest counters and any value-conflict count.
+func streamObservations(t *engine.Table, obs []freqstats.Observation, attr string, batch, flushEvery int) error {
+	start := time.Now()
+	conflicts, err := engine.StreamObservations(t, obs, attr, "name", batch, flushEvery)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := t.IngestStats()
+	fmt.Printf("streamed:  %d observations in %v (%.0f rows/s; %d batches, %d flush barriers)\n",
+		len(obs), elapsed.Round(time.Millisecond), float64(len(obs))/elapsed.Seconds(), st.Batches, st.Flushes)
+	if conflicts > 0 {
+		fmt.Printf("warning:   %d value conflicts in the stream (first value kept)\n", conflicts)
+	}
+	return nil
 }
 
 // printCacheStats reports the engine's cache counters (compiled filter

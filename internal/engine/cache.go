@@ -19,11 +19,17 @@ import (
 //  2. Per-shard selection bitmaps. The bitmap a program produces over a
 //     shard depends only on the shard's rows, which change exactly when
 //     the shard's write epoch changes: every mutating Insert bumps the
-//     epoch under the shard's write lock. A cached bitmap therefore
-//     stays valid while `built-at epoch == current epoch`, is shared
-//     across scans within a query (Sample + GroupedSamples on the same
-//     WHERE) and across repeated queries, and is dropped the moment its
-//     epoch is stale. Cached bitmaps are immutable once published.
+//     epoch under the shard's write lock, and every applied ingestion
+//     batch bumps it once for the whole batch (ingest.go) — under
+//     streaming writes a shard's caches are invalidated per batch, not
+//     per row, so between batch applications repeated queries keep
+//     hitting. Staged-but-unapplied rows do not move the epoch: they are
+//     invisible to scans, so a cached bitmap or result is still exact for
+//     the data a scan would see. A cached bitmap therefore stays valid
+//     while `built-at epoch == current epoch`, is shared across scans
+//     within a query (Sample + GroupedSamples on the same WHERE) and
+//     across repeated queries, and is dropped the moment its epoch is
+//     stale. Cached bitmaps are immutable once published.
 //  3. Whole query results (executor level, opt-in — see resultCache in
 //     executor.go wiring). Keyed by (table identity, canonical SQL,
 //     estimator configuration) plus the full vector of shard epochs

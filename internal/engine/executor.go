@@ -26,6 +26,18 @@ type DB struct {
 	// when disabled. Atomic so enabling/disabling at runtime is safe
 	// against concurrent queries.
 	results atomic.Pointer[resultCache]
+	// FlushOnQuery, when set, drains the queried table's ingestion
+	// staging before each query scan, so the query sees every observation
+	// staged to that table before it started (read-your-writes for all
+	// its writers). The drain is
+	// a pure visibility barrier: apply-time value conflicts stay queued
+	// for the writer's next explicit Flush — a reader's query neither
+	// fails on nor consumes another writer's data-quality warnings. Off
+	// by default: queries then serve a consistent point-in-time snapshot
+	// of the applied rows and never wait for ingestion — the streaming
+	// posture of online aggregation. Like Estimators, configure before
+	// serving concurrent traffic.
+	FlushOnQuery bool
 }
 
 // EnableResultCache turns on whole-query result caching with the given
@@ -246,6 +258,14 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 	attr := q.Attr
 	if attr == "*" {
 		attr = ""
+	}
+	if db.FlushOnQuery {
+		// The drain barrier runs before the epoch vector is captured, so
+		// the cache lookup below already sees the post-drain epochs and
+		// can never serve a pre-drain result to a read-your-writes query.
+		// drainAll (not Flush): conflict warnings stay queued for the
+		// writer's own Flush.
+		t.drainAll()
 	}
 	rc := db.results.Load()
 	var baseKey resultKey

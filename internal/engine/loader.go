@@ -36,6 +36,83 @@ func LoadObservations(t *Table, obs []freqstats.Observation, valueColumn, labelC
 	return conflicts, nil
 }
 
+// StreamObservations is LoadObservations through the batched asynchronous
+// ingestion pipeline: observations are staged through a Writer, a
+// background Ingester drains per-shard batches of batchRows (0 = default),
+// and a read-your-writes Flush barrier runs every flushEvery observations
+// (0 = only at the end). Value conflicts are counted like
+// LoadObservations — the first value wins and the stream keeps going.
+// The table must not already have an active Ingester.
+func StreamObservations(t *Table, obs []freqstats.Observation, valueColumn, labelColumn string, batchRows, flushEvery int) (conflicts int, err error) {
+	if col, ok := t.Schema().Column(valueColumn); !ok || col.Type != TypeFloat {
+		return 0, fmt.Errorf("engine: table %q needs a FLOAT column %q", t.Name(), valueColumn)
+	}
+	if labelColumn != "" {
+		if col, ok := t.Schema().Column(labelColumn); !ok || col.Type != TypeString {
+			return 0, fmt.Errorf("engine: table %q needs a STRING column %q", t.Name(), labelColumn)
+		}
+	}
+	ing, err := t.StartIngest(IngestConfig{BatchRows: batchRows})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		conflicts += countConflicts(ing.Close())
+	}()
+	w := ing.NewWriter()
+
+	// The LoadCSVTable shape — exactly (labelColumn STRING, valueColumn
+	// FLOAT) — takes the positional fast path; any other schema goes
+	// through the map path, which preserves LoadObservations' semantics
+	// for columns the stream does not provide.
+	schema := t.Schema()
+	positional := labelColumn != "" && len(schema) == 2 &&
+		schema[0].Name == labelColumn && schema[1].Name == valueColumn
+	vals := make([]sqlparse.Value, 2)
+	attrs := make(map[string]sqlparse.Value, 2) // reused: Append does not retain it
+	for i, o := range obs {
+		if positional {
+			vals[0] = sqlparse.StringValue(o.EntityID)
+			vals[1] = sqlparse.Number(o.Value)
+			err = w.AppendRow(o.EntityID, o.Source, vals)
+		} else {
+			attrs[valueColumn] = sqlparse.Number(o.Value)
+			if labelColumn != "" {
+				attrs[labelColumn] = sqlparse.StringValue(o.EntityID)
+			}
+			err = w.Append(o.EntityID, o.Source, attrs)
+		}
+		if err != nil {
+			return conflicts, err
+		}
+		if flushEvery > 0 && (i+1)%flushEvery == 0 {
+			conflicts += countConflicts(w.Flush())
+		}
+	}
+	conflicts += countConflicts(w.Flush())
+	return conflicts, nil
+}
+
+// countConflicts counts the individual errors inside a (possibly joined)
+// Flush error; nil counts zero. A dropped-errors summary (apply errors
+// beyond the recording cap) contributes its exact count.
+func countConflicts(err error) int {
+	if err == nil {
+		return 0
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		n := 0
+		for _, e := range joined.Unwrap() {
+			n += countConflicts(e)
+		}
+		return n
+	}
+	if dropped, ok := err.(droppedIngestErrors); ok {
+		return dropped.n
+	}
+	return 1
+}
+
 // LoadCSVTable creates a table from a CSV observation file: a fresh table
 // named tableName with columns "name" (STRING) and valueColumn (FLOAT) is
 // created in db and filled from the stream. Returns the table and the

@@ -111,11 +111,17 @@ func decodeColumnType(s string) (ColumnType, error) {
 
 // Save writes a JSON snapshot of every table (schema, records, lineage).
 // Estimator configuration is not part of the snapshot — it belongs to the
-// session, not the data.
+// session, not the data. Each table's ingestion staging is drained first,
+// so observations appended through the batched path are part of the
+// snapshot even when no explicit Flush ran. The drain is a pure
+// visibility barrier: value-conflict warnings (non-fatal, first value
+// wins — the table state is valid) stay queued for the writer's next
+// Flush rather than aborting an otherwise sound snapshot.
 func (db *DB) Save(w io.Writer) error {
 	snap := snapshotDB{Version: snapshotVersion}
 	for _, name := range db.TableNames() {
 		t := db.tables[name]
+		t.drainAll()
 		st := snapshotTable{Name: t.name}
 		for _, c := range t.schema {
 			st.Schema = append(st.Schema, snapshotColumn{Name: c.Name, Type: encodeColumnType(c.Type)})

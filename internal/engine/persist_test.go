@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -102,19 +103,170 @@ func TestSaveLoadPreservesValueKinds(t *testing.T) {
 	}
 }
 
+// TestLoadErrors is the table-driven error-path suite for snapshot
+// restore: every malformed input must be rejected with a telling error
+// and leave the database empty.
 func TestLoadErrors(t *testing.T) {
+	// A structurally valid snapshot, used to derive the truncation cases.
+	valid := func(t *testing.T) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := toyDB(t, false).Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := []struct {
+		name   string
+		input  func(t *testing.T) string
+		errSub string
+	}{
+		{
+			name:   "garbage",
+			input:  func(*testing.T) string { return "not json" },
+			errSub: "decoding snapshot",
+		},
+		{
+			name:   "empty input",
+			input:  func(*testing.T) string { return "" },
+			errSub: "decoding snapshot",
+		},
+		{
+			name:   "truncated JSON",
+			input:  func(t *testing.T) string { s := valid(t); return s[:len(s)/2] },
+			errSub: "decoding snapshot",
+		},
+		{
+			name:   "corrupt JSON tail",
+			input:  func(t *testing.T) string { s := valid(t); return s[:len(s)-3] + "#!" },
+			errSub: "decoding snapshot",
+		},
+		{
+			name: "newer major version",
+			input: func(*testing.T) string {
+				return fmt.Sprintf(`{"version": %d, "tables": []}`, snapshotVersion+1)
+			},
+			errSub: "newer than supported",
+		},
+		{
+			name:   "far future version",
+			input:  func(*testing.T) string { return `{"version": 99, "tables": []}` },
+			errSub: "newer than supported",
+		},
+		{
+			name: "unknown column type",
+			input: func(*testing.T) string {
+				return `{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"quaternion"}]}]}`
+			},
+			errSub: "column type",
+		},
+		{
+			name: "record without sources",
+			input: func(*testing.T) string {
+				return `{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"float"}],"records":[{"entity":"e","attrs":{},"sources":[]}]}]}`
+			},
+			errSub: "no sources",
+		},
+		{
+			name: "number value without num field",
+			input: func(*testing.T) string {
+				return `{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"float"}],"records":[{"entity":"e","attrs":{"v":{"kind":"number"}},"sources":["s"]}]}]}`
+			},
+			errSub: "number without num",
+		},
+		{
+			name: "unknown value kind",
+			input: func(*testing.T) string {
+				return `{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"float"}],"records":[{"entity":"e","attrs":{"v":{"kind":"complex"}},"sources":["s"]}]}]}`
+			},
+			errSub: "unknown",
+		},
+		{
+			name: "value type mismatching schema",
+			input: func(*testing.T) string {
+				return `{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"float"}],"records":[{"entity":"e","attrs":{"v":{"kind":"string","str":"x"}},"sources":["s"]}]}]}`
+			},
+			errSub: "expects FLOAT",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var db DB
+			err := db.Load(strings.NewReader(tc.input(t)))
+			if err == nil {
+				t.Fatal("malformed snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errSub) {
+				t.Errorf("error %q does not mention %q", err, tc.errSub)
+			}
+			if n := len(db.TableNames()); n != 0 {
+				t.Errorf("failed load left %d tables behind", n)
+			}
+		})
+	}
+}
+
+// TestSaveDrainsStaging: a snapshot taken while staging is non-empty must
+// include the staged observations (Save runs the Flush barrier first) and
+// round-trip them exactly.
+func TestSaveDrainsStaging(t *testing.T) {
 	var db DB
-	if err := db.Load(strings.NewReader("not json")); err == nil {
-		t.Error("garbage not reported")
+	tbl, err := db.CreateTable("t", Schema{
+		{Name: "name", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := db.Load(strings.NewReader(`{"version": 99, "tables": []}`)); err == nil {
-		t.Error("future version not reported")
+	attrs := func(id string, v float64) map[string]sqlparse.Value {
+		return map[string]sqlparse.Value{"name": sqlparse.StringValue(id), "v": sqlparse.Number(v)}
 	}
-	if err := db.Load(strings.NewReader(`{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"quaternion"}]}]}`)); err == nil {
-		t.Error("unknown column type not reported")
+	// Half inserted, half staged-but-unflushed at Save time.
+	for i := 0; i < 10; i++ {
+		if err := tbl.Insert(fmt.Sprintf("i%d", i), "src-a", attrs(fmt.Sprintf("i%d", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := db.Load(strings.NewReader(`{"version":1,"tables":[{"name":"t","schema":[{"name":"v","type":"float"}],"records":[{"entity":"e","attrs":{},"sources":[]}]}]}`)); err == nil {
-		t.Error("record without sources not reported")
+	for i := 0; i < 10; i++ {
+		if err := tbl.Append(fmt.Sprintf("a%d", i), "src-b", attrs(fmt.Sprintf("a%d", i), float64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.StagedRows() == 0 {
+		t.Fatal("precondition: nothing staged")
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.StagedRows(); got != 0 {
+		t.Errorf("staging not drained by Save: %d rows", got)
+	}
+
+	var dst DB
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dt, ok := dst.Table("t")
+	if !ok {
+		t.Fatal("table missing after restore")
+	}
+	if got, want := dt.NumRecords(), 20; got != want {
+		t.Fatalf("restored records = %d, want %d (staged rows lost?)", got, want)
+	}
+	if got, want := dt.NumObservations(), tbl.NumObservations(); got != want {
+		t.Errorf("restored observations = %d, want %d", got, want)
+	}
+	ws, err := tbl.Sample("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := dt.Sample("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Fingerprint() != gs.Fingerprint() {
+		t.Errorf("restored sample differs: %x vs %x", gs.Fingerprint(), ws.Fingerprint())
 	}
 }
 

@@ -11,7 +11,10 @@
 // []string, []bool) with defined/valid bitmaps plus a parallel lineage
 // array (the per-entity source multiset). Ingestion locks only the target
 // entity's shard, and query scans run shard-parallel with predicates
-// compiled once into vectorized filters (see filter.go).
+// compiled once into vectorized filters (see filter.go). Besides the
+// per-row Insert path, tables support batched asynchronous ingestion
+// through per-shard staging buffers with a Flush barrier for
+// read-your-writes (see ingest.go).
 package engine
 
 import (
@@ -171,11 +174,19 @@ type shard struct {
 
 	// epoch counts the shard's mutations: every Insert that changes the
 	// shard (a new row or a new lineage mention) bumps it under the write
-	// lock. Cached selection bitmaps and whole-query results are keyed by
-	// the epoch they were built at and are served only while the epoch
-	// still matches, so a reader can never observe cached state from
-	// before a write it could otherwise see (see cache.go).
+	// lock, and every applied ingest batch that changes the shard bumps it
+	// once for the whole batch (see ingest.go). Cached selection bitmaps
+	// and whole-query results are keyed by the epoch they were built at
+	// and are served only while the epoch still matches, so a reader can
+	// never observe cached state from before a write it could otherwise
+	// see (see cache.go).
 	epoch uint64
+
+	// staging holds observations appended through the batched ingestion
+	// path that have not been applied to the columnar arrays yet; staged
+	// rows are invisible to scans until a drain applies them (see
+	// ingest.go).
+	staging stagingBuf
 }
 
 func (sh *shard) rows() int { return len(sh.ids) }
@@ -202,10 +213,18 @@ type Table struct {
 	// Source registry: source names are interned once per table into dense
 	// int32 IDs, so lineage rows are small integer vectors and query scans
 	// attribute observations to sources without hashing a string per
-	// observation. The registry only grows.
+	// observation. The registry only grows. srcSnap is a lock-free
+	// copy-on-write snapshot of srcIDs serving the hot intern path (one
+	// lookup per staged/inserted observation).
 	srcMu    sync.RWMutex
 	srcIDs   map[string]int32
 	srcNames []string
+	srcSnap  atomic.Pointer[map[string]int32]
+
+	// ingest is the batched asynchronous ingestion state: staging
+	// configuration, chunk pool, pending apply errors and counters (see
+	// ingest.go).
+	ingest ingestState
 }
 
 // NewTable creates an empty table with the given schema. The schema must
@@ -269,23 +288,30 @@ func (t *Table) CacheStats() CacheStats {
 func (t *Table) Schema() Schema { return t.schema }
 
 // internSource returns the table-global ID for a source name, registering
-// it on first use. It takes the registry lock only, never a shard lock, so
-// it can be called on the insert path before the shard is locked.
+// it on first use. The hot path is a lock-free lookup in the srcSnap
+// copy-on-write snapshot; only the first mention of a new source takes
+// the registry lock (and republishes the snapshot). It never takes a
+// shard lock, so it can be called on the insert/staging path before the
+// shard is locked.
 func (t *Table) internSource(name string) int32 {
-	t.srcMu.RLock()
-	id, ok := t.srcIDs[name]
-	t.srcMu.RUnlock()
-	if ok {
-		return id
+	if m := t.srcSnap.Load(); m != nil {
+		if id, ok := (*m)[name]; ok {
+			return id
+		}
 	}
 	t.srcMu.Lock()
 	defer t.srcMu.Unlock()
 	if id, ok := t.srcIDs[name]; ok {
 		return id
 	}
-	id = int32(len(t.srcNames))
+	id := int32(len(t.srcNames))
 	t.srcIDs[name] = id
 	t.srcNames = append(t.srcNames, name)
+	snap := make(map[string]int32, len(t.srcIDs))
+	for k, v := range t.srcIDs {
+		snap[k] = v
+	}
+	t.srcSnap.Store(&snap)
 	return id
 }
 
@@ -301,6 +327,13 @@ func (t *Table) sourceNameTable() []string {
 
 // shardFor hashes an entity ID to its shard (FNV-1a).
 func (t *Table) shardFor(entityID string) *shard {
+	si, _ := t.shardIndexFor(entityID)
+	return t.shards[si]
+}
+
+// shardIndexFor is shardFor returning the shard index too (the staging
+// path addresses shards by index).
+func (t *Table) shardIndexFor(entityID string) (int, *shard) {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -310,7 +343,8 @@ func (t *Table) shardFor(entityID string) *shard {
 		h ^= uint64(entityID[i])
 		h *= prime64
 	}
-	return t.shards[h&(numShards-1)]
+	si := int(h & (numShards - 1))
+	return si, t.shards[si]
 }
 
 // rlockAll acquires every shard's read lock in index order and returns
@@ -354,8 +388,13 @@ func (t *Table) NumObservations() int {
 // (the model assumes cleaned, fused input); later insertions from new
 // sources only extend the lineage, and a value mismatch is reported as an
 // error while still counting the observation. Attribute values are
-// validated against the schema. Only the entity's shard is locked, so
-// inserts for different shards proceed in parallel.
+// validated against the schema (for a new entity; a later insertion of a
+// known entity only has its values checked for consistency — the batched
+// Append path is stricter and validates every row). Only the entity's
+// shard is locked, so inserts for different shards proceed in parallel.
+// For streaming workloads prefer the batched staging path
+// (Append/AppendRow/Writer in ingest.go), which amortizes the per-row
+// locking and epoch bumps across whole batches.
 func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value) error {
 	if entityID == "" {
 		return fmt.Errorf("engine: %s: empty entity ID", t.name)
@@ -382,17 +421,10 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 		}
 		sh.lineage = append(sh.lineage, nil)
 	}
-	srcs := sh.lineage[row]
-	pos := sort.Search(len(srcs), func(i int) bool { return srcs[i] >= sid })
-	if pos < len(srcs) && srcs[pos] == sid {
+	if !insertLineage(sh, row, sid) {
 		// Idempotent: one source mentions an entity once.
 		return nil
 	}
-	srcs = append(srcs, 0)
-	copy(srcs[pos+1:], srcs[pos:])
-	srcs[pos] = sid
-	sh.lineage[row] = srcs
-	sh.nObs++
 	// The shard changed (new row and/or new lineage mention): bump the
 	// write epoch so cached bitmaps and results built before this insert
 	// stop matching. The idempotent re-insert path above returns without

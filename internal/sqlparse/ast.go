@@ -203,7 +203,9 @@ func (l Like) String() string {
 	if l.Negate {
 		not = "NOT "
 	}
-	return fmt.Sprintf("%s %sLIKE '%s'", l.Expr, not, l.Pattern)
+	// Render the pattern through the literal escaper, so a pattern
+	// containing a quote reparses (found by FuzzParsePredicate).
+	return fmt.Sprintf("%s %sLIKE %s", l.Expr, not, StringValue(l.Pattern))
 }
 func (Like) isExpr() {}
 

@@ -1,0 +1,138 @@
+package sqlparse
+
+// Native Go fuzzing for the SQL front end, seeded from the hand-written
+// parser-test corpus (valid and invalid inputs alike). Two properties:
+//
+//   - Total: Parse/ParsePredicate never panic; they return a query or an
+//     error, never both shapes at once.
+//   - Round-trip stable: when an input parses, rendering it and reparsing
+//     the rendition is a fixed point (String ∘ Parse is idempotent) —
+//     the same property the deterministic round-trip tests pin, but
+//     driven by coverage-guided mutation instead of a grammar sampler.
+//
+// CI runs each target for a short wall-clock smoke (`make fuzz-smoke`);
+// crashers found there or locally land in testdata/fuzz as regression
+// seeds automatically.
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeedQueries is the shared seed corpus: every query string exercised
+// by the deterministic parser tests, plus shapes that have historically
+// been easy to get wrong (escapes, signs, keywords as prefixes, unicode).
+var fuzzSeedQueries = []string{
+	// Valid queries from TestParseBasicQueries and friends.
+	"SELECT SUM(employees) FROM us_tech_companies",
+	"select count(*) from t",
+	"SELECT AVG(gdp) FROM states WHERE gdp > 100",
+	"SELECT MIN(revenue) FROM companies WHERE sector = 'tech' AND revenue >= 1.5",
+	"SELECT MAX(v) FROM t WHERE v BETWEEN 10 AND 20",
+	"SELECT MEDIAN(employees) FROM companies",
+	"SELECT COUNT(*) FROM t GROUP BY grp",
+	"SELECT SUM(v) FROM t WHERE state IN ('CA', 'NY', 'WA') GROUP BY state",
+	"SELECT SUM(v) FROM t WHERE x NOT IN (1, 2)",
+	"SELECT SUM(v) FROM t WHERE x IS NULL",
+	"SELECT SUM(v) FROM t WHERE x IS NOT NULL",
+	"SELECT SUM(v) FROM t WHERE name = 'O''Brien'",
+	"SELECT SUM(v) FROM t WHERE name LIKE 'e%_x'",
+	"SELECT SUM(v) FROM t WHERE name NOT LIKE '%inc%'",
+	"SELECT SUM(v) FROM t WHERE profit < -1.5e3",
+	"SELECT SUM(v) FROM t WHERE a > 1 AND (b < 2 OR NOT c = 3)",
+	"SELECT SUM(v) FROM t WHERE v NOT BETWEEN -1 AND +1",
+	"SELECT SUM(v) FROM t WHERE b = TRUE OR b = FALSE OR x = NULL",
+	// Invalid inputs from TestParseErrors: the fuzzer mutates these into
+	// near-valid shapes that probe error paths.
+	"",
+	"SELECT",
+	"SELECT FOO(x) FROM t",
+	"SELECT SUM(*) FROM t",
+	"SELECT SUM(x FROM t",
+	"SELECT SUM(x) t",
+	"SELECT SUM(x) FROM",
+	"SELECT SUM(x) FROM t WHERE",
+	"SELECT SUM(x) FROM t WHERE x >",
+	"SELECT SUM(x) FROM t extra",
+	"SELECT SUM(x) FROM t WHERE x LIKE 5",
+	"SELECT SUM(x) FROM t WHERE x NOT 5",
+	"SELECT SUM(x) FROM t WHERE x = 'unterminated",
+	"SELECT SUM(x) FROM t WHERE x # 3",
+	"SELECT SUM(x) FROM t WHERE x NOT IS NULL",
+	"SELECT SUM(x) FROM t GROUP",
+	"SELECT SUM(x) FROM t GROUP BY",
+	// Lexer stress: unicode, long tokens, operator runs.
+	"SELECT SUM(π) FROM t WHERE π = 3.14159",
+	"SELECT SUM(x) FROM t WHERE s = 'héllo''wörld'",
+	"SELECT SUM(x) FROM t WHERE x <= >= <> != < >",
+	"SELECT SUM(x) FROM t WHERE x = 1e309",
+	"SELECT SUM(x) FROM t WHERE x = 00000000000000000000000001",
+}
+
+func fuzzRoundTrip(t *testing.T, input, rendered string, reparse func(string) (string, error)) {
+	t.Helper()
+	second, err := reparse(rendered)
+	if err != nil {
+		t.Fatalf("accepted input %q rendered to %q, which does not reparse: %v", input, rendered, err)
+	}
+	if second != rendered {
+		t.Fatalf("rendering is not a fixed point for %q:\n  first:  %s\n  second: %s", input, rendered, second)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeedQueries {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return // bound lexing cost per exec, not a correctness limit
+		}
+		q, err := Parse(input)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("Parse(%q) returned a query AND an error", input)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned neither query nor error", input)
+		}
+		fuzzRoundTrip(t, input, q.String(), func(s string) (string, error) {
+			q2, err := Parse(s)
+			if err != nil {
+				return "", err
+			}
+			return q2.String(), nil
+		})
+	})
+}
+
+func FuzzParsePredicate(f *testing.F) {
+	for _, s := range fuzzSeedQueries {
+		// Reuse the query corpus by stripping it to predicate-ish tails as
+		// well as feeding it verbatim.
+		f.Add(s)
+		if _, tail, ok := strings.Cut(s, "WHERE "); ok {
+			f.Add(tail)
+		}
+	}
+	f.Add("a > 1 AND (b < 2 OR NOT c = 3)")
+	f.Add("x BETWEEN 1 AND 2 OR y IN ('a', 'b') AND NOT z LIKE '%_%'")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		e, err := ParsePredicate(input)
+		if err != nil {
+			return
+		}
+		fuzzRoundTrip(t, input, e.String(), func(s string) (string, error) {
+			e2, err := ParsePredicate(s)
+			if err != nil {
+				return "", err
+			}
+			return e2.String(), nil
+		})
+	})
+}

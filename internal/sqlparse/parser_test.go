@@ -167,6 +167,26 @@ func TestParseStringEscapes(t *testing.T) {
 	}
 }
 
+// Regression for a FuzzParsePredicate find: a LIKE pattern containing a
+// quote must render re-escaped, so the rendition reparses.
+func TestLikePatternQuoteRoundTrip(t *testing.T) {
+	e, err := ParsePredicate("name LIKE 'O''Brien%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := e.(Like); l.Pattern != "O'Brien%" {
+		t.Fatalf("pattern = %q", l.Pattern)
+	}
+	s := e.String()
+	e2, err := ParsePredicate(s)
+	if err != nil {
+		t.Fatalf("rendition %q does not reparse: %v", s, err)
+	}
+	if got := e2.String(); got != s {
+		t.Errorf("round trip changed: %q -> %q", s, got)
+	}
+}
+
 func TestLexerPositions(t *testing.T) {
 	toks, err := Lex("SELECT SUM(x)")
 	if err != nil {
