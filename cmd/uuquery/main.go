@@ -85,6 +85,8 @@ func run() error {
 	stream := flag.Bool("stream", false, "ingest through the batched asynchronous pipeline (staging + appliers) instead of per-row inserts")
 	batch := flag.Int("batch", 256, "with -stream: per-shard batch size (drain threshold)")
 	flushEvery := flag.Int("flush-every", 0, "with -stream: run a read-your-writes Flush barrier every N observations (0 = only at the end)")
+	backendName := flag.String("backend", "mem", "shard storage backend: mem (in-memory columnar) or disk (mmap'd page-formatted segments)")
+	backendDir := flag.String("backend-dir", "", "with -backend disk: segment directory (default: a temp dir removed on exit)")
 	flag.Parse()
 
 	if *list {
@@ -94,7 +96,24 @@ func run() error {
 		return nil
 	}
 
+	backend, err := engine.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
 	db := engine.DB{Estimators: engine.DefaultEstimators()}
+	if backend == engine.BackendDisk {
+		dir := *backendDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "uuquery-disk-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		db.Storage = engine.StorageConfig{Backend: engine.BackendDisk, Dir: dir}
+	}
+	defer db.Close()
 	if *useCache {
 		db.EnableResultCache(*cacheBytes)
 	}
@@ -236,7 +255,7 @@ func run() error {
 		for _, w := range res.Warnings {
 			fmt.Println("warning:  ", w)
 		}
-		printCacheStats(&db, *cacheStats)
+		printCacheStats(&db, tbl, *cacheStats)
 		return saveSnapshot(&db, *saveFile)
 	}
 	fmt.Printf("observed:  %.2f   (closed-world answer)\n", res.Observed)
@@ -295,7 +314,7 @@ func run() error {
 		}
 		fmt.Println("\n" + diag.String())
 	}
-	printCacheStats(&db, *cacheStats)
+	printCacheStats(&db, tbl, *cacheStats)
 	return saveSnapshot(&db, *saveFile)
 }
 
@@ -320,13 +339,14 @@ func streamObservations(t *engine.Table, obs []freqstats.Observation, attr strin
 	return nil
 }
 
-// printCacheStats reports the engine's cache counters (compiled filter
-// programs, per-shard selection bitmaps, whole-query results) when
-// requested via -cachestats.
-func printCacheStats(db *engine.DB, enabled bool) {
+// printCacheStats reports which storage backend served the queries plus
+// the engine's cache counters (compiled filter programs, per-shard
+// selection bitmaps, whole-query results) when requested via -cachestats.
+func printCacheStats(db *engine.DB, tbl *engine.Table, enabled bool) {
 	if !enabled {
 		return
 	}
+	fmt.Printf("storage:   backend %s (table %q)\n", tbl.StorageBackend(), tbl.Name())
 	s := db.CacheStats()
 	fmt.Printf("cache:     programs %d hits / %d misses; bitmaps %d hits / %d misses (%d bytes, %d evictions)\n",
 		s.ProgramHits, s.ProgramMisses, s.BitmapHits, s.BitmapMisses, s.BitmapBytes, s.BitmapEvictions)

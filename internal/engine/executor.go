@@ -17,6 +17,14 @@ import (
 // use.
 type DB struct {
 	tables map[string]*Table
+	// Storage selects the shard-storage backend for tables created through
+	// this DB (CreateTable and snapshot Load). The zero value is the
+	// in-memory default; see StorageConfig for the disk backend. Like
+	// Estimators, configure before creating tables.
+	Storage StorageConfig
+	// dropped holds tables removed from the catalog whose storage has not
+	// been released yet (see DropTable); Close drains it.
+	dropped []*Table
 	// Estimators are the unknown-unknowns estimators attached to query
 	// results; nil means DefaultEstimators. Like CreateTable, reassigning
 	// it is not synchronized with in-flight queries — configure before
@@ -80,7 +88,8 @@ func DefaultEstimators() []core.SumEstimator {
 	}
 }
 
-// CreateTable creates and registers a new table.
+// CreateTable creates and registers a new table on the DB's configured
+// storage backend.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	if db.tables == nil {
 		db.tables = make(map[string]*Table)
@@ -88,12 +97,37 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	if _, exists := db.tables[name]; exists {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
-	t, err := NewTable(name, schema)
+	t, err := NewTableWithStorage(name, schema, db.Storage)
 	if err != nil {
 		return nil, err
 	}
 	db.tables[name] = t
 	return t, nil
+}
+
+// Close releases every registered table's storage resources (disk-backend
+// mappings; a no-op for in-memory tables), including tables dropped from
+// the catalog earlier. The DB must not be queried afterwards.
+func (db *DB) Close() error {
+	var firstErr error
+	for _, name := range db.TableNames() {
+		if err := db.tables[name].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, t := range db.dropped {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.dropped = nil
+	return firstErr
+}
+
+// StorageBackend reports the backend the DB creates tables on, resolved
+// to a concrete implementation (the zero config reads as mem).
+func (db *DB) StorageBackend() Backend {
+	return resolveStorage(db.Storage).Backend
 }
 
 // Table returns a registered table.
@@ -104,12 +138,16 @@ func (db *DB) Table(name string) (*Table, bool) {
 
 // DropTable removes a table from the catalog. It returns an error if the
 // table does not exist; handles obtained earlier keep working but the
-// table no longer answers queries through the database.
+// table no longer answers queries through the database. The dropped
+// table's storage is NOT released here (live handles may still scan it);
+// it stays owned by the DB and is released by DB.Close.
 func (db *DB) DropTable(name string) error {
-	if _, ok := db.tables[name]; !ok {
+	t, ok := db.tables[name]
+	if !ok {
 		return fmt.Errorf("engine: unknown table %q", name)
 	}
 	delete(db.tables, name)
+	db.dropped = append(db.dropped, t)
 	return nil
 }
 

@@ -15,9 +15,13 @@ import (
 // of OR only sees rows the left operand rejected, so type errors hidden by
 // short-circuiting stay hidden.
 //
-// Column references are resolved to column indexes at compile time, so the
-// per-row work is direct slice indexing — no map lookups, no Record
-// materialization, no interface boxing on the float fast path.
+// Column references are resolved to column indexes at compile time, and
+// kernels run over the storage backend's column views (store.go): typed
+// extents iterated with direct slice indexing — no map lookups, no Record
+// materialization, no interface boxing on the float fast path. The
+// in-memory backend always presents one extent per column, so its kernels
+// compile to the same flat loops as before storage became pluggable; the
+// disk backend presents one extent per mmap'd segment plus the tail.
 
 // filterProgram is a compiled WHERE predicate.
 type filterProgram struct {
@@ -26,17 +30,17 @@ type filterProgram struct {
 
 // eval computes out = rows of sel satisfying the predicate. out must be
 // sized to the shard and is overwritten.
-func (p *filterProgram) eval(sh *shard, sel, out *bitmap) error {
+func (p *filterProgram) eval(v *storeView, sel, out *bitmap) error {
 	for i := range out.words {
 		out.words[i] = 0
 	}
-	return p.root.eval(sh, sel, out)
+	return p.root.eval(v, sel, out)
 }
 
 type filterNode interface {
 	// eval sets, in out, the subset of sel's rows satisfying the node.
 	// out starts zeroed; implementations only set bits within sel.
-	eval(sh *shard, sel, out *bitmap) error
+	eval(v *storeView, sel, out *bitmap) error
 }
 
 // compileFilter compiles a predicate against a schema. A nil expression
@@ -167,15 +171,15 @@ func compileOperand(schema Schema, colIdx map[string]int, e sqlparse.Expr) (oper
 // value fetches the operand's value at a row. Referencing a column the
 // record never provided is an error, mirroring Record.Column + the
 // row-at-a-time evaluator.
-func (o *operand) value(sh *shard, row int) (sqlparse.Value, error) {
+func (o *operand) value(v *storeView, row int) (sqlparse.Value, error) {
 	if !o.isCol {
 		return o.lit, nil
 	}
-	v, ok := sh.cols[o.col].value(row)
+	val, ok := v.cols[o.col].value(row)
 	if !ok {
 		return sqlparse.Value{}, fmt.Errorf("sql: unknown column %q", o.name)
 	}
-	return v, nil
+	return val, nil
 }
 
 // isFloatCol reports whether the operand is a FLOAT column reference.
@@ -183,19 +187,19 @@ func (o *operand) isFloatCol() bool { return o.isCol && o.typ == TypeFloat }
 
 type andNode struct{ l, r filterNode }
 
-func (n *andNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *andNode) eval(v *storeView, sel, out *bitmap) error {
 	tmp := borrowBitmap(sel.n)
 	defer releaseBitmap(tmp)
-	if err := n.l.eval(sh, sel, tmp); err != nil {
+	if err := n.l.eval(v, sel, tmp); err != nil {
 		return err
 	}
-	return n.r.eval(sh, tmp, out)
+	return n.r.eval(v, tmp, out)
 }
 
 type orNode struct{ l, r filterNode }
 
-func (n *orNode) eval(sh *shard, sel, out *bitmap) error {
-	if err := n.l.eval(sh, sel, out); err != nil {
+func (n *orNode) eval(v *storeView, sel, out *bitmap) error {
+	if err := n.l.eval(v, sel, out); err != nil {
 		return err
 	}
 	rest := borrowBitmap(sel.n)
@@ -204,7 +208,7 @@ func (n *orNode) eval(sh *shard, sel, out *bitmap) error {
 	rest.andNot(out) // rows the left side rejected
 	tmp := borrowBitmap(sel.n)
 	defer releaseBitmap(tmp)
-	if err := n.r.eval(sh, rest, tmp); err != nil {
+	if err := n.r.eval(v, rest, tmp); err != nil {
 		return err
 	}
 	out.or(tmp)
@@ -213,10 +217,10 @@ func (n *orNode) eval(sh *shard, sel, out *bitmap) error {
 
 type notNode struct{ child filterNode }
 
-func (n *notNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *notNode) eval(v *storeView, sel, out *bitmap) error {
 	tmp := borrowBitmap(sel.n)
 	defer releaseBitmap(tmp)
-	if err := n.child.eval(sh, sel, tmp); err != nil {
+	if err := n.child.eval(v, sel, tmp); err != nil {
 		return err
 	}
 	out.or(sel)
@@ -226,7 +230,7 @@ func (n *notNode) eval(sh *shard, sel, out *bitmap) error {
 
 type constNode struct{ value bool }
 
-func (n *constNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *constNode) eval(v *storeView, sel, out *bitmap) error {
 	if n.value {
 		out.or(sel)
 	}
@@ -240,20 +244,28 @@ type boolColNode struct {
 	isBool bool
 }
 
-func (n *boolColNode) eval(sh *shard, sel, out *bitmap) error {
-	col := &sh.cols[n.col]
-	return sel.forEach(func(row int) error {
-		if !col.defined.get(row) {
-			return fmt.Errorf("sql: unknown column %q", n.name)
+func (n *boolColNode) eval(v *storeView, sel, out *bitmap) error {
+	cv := &v.cols[n.col]
+	for ei := range cv.exts {
+		ext := &cv.exts[ei]
+		err := sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+			i := row - ext.base
+			if !ext.defined.get(i) {
+				return fmt.Errorf("sql: unknown column %q", n.name)
+			}
+			if !n.isBool || !ext.valid.get(i) {
+				return fmt.Errorf("sql: column %q is not boolean", n.name)
+			}
+			if ext.boolAt(i) {
+				out.set(row)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		if !n.isBool || !col.valid.get(row) {
-			return fmt.Errorf("sql: column %q is not boolean", n.name)
-		}
-		if col.bools[row] {
-			out.set(row)
-		}
-		return nil
-	})
+	}
+	return nil
 }
 
 type cmpNode struct {
@@ -261,21 +273,21 @@ type cmpNode struct {
 	left, right operand
 }
 
-func (n *cmpNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *cmpNode) eval(v *storeView, sel, out *bitmap) error {
 	// Fast path: FLOAT column vs numeric literal — the dominant predicate
 	// shape. Direct slice compares, no Value boxing.
 	if n.left.isFloatCol() && !n.right.isCol && n.right.lit.Kind == sqlparse.ValueNumber {
-		return evalFloatCmp(sh, sel, out, &n.left, n.op, n.right.lit.Num, false)
+		return evalFloatCmp(v, sel, out, &n.left, n.op, n.right.lit.Num, false)
 	}
 	if n.right.isFloatCol() && !n.left.isCol && n.left.lit.Kind == sqlparse.ValueNumber {
-		return evalFloatCmp(sh, sel, out, &n.right, n.op, n.left.lit.Num, true)
+		return evalFloatCmp(v, sel, out, &n.right, n.op, n.left.lit.Num, true)
 	}
 	return sel.forEach(func(row int) error {
-		l, err := n.left.value(sh, row)
+		l, err := n.left.value(v, row)
 		if err != nil {
 			return err
 		}
-		r, err := n.right.value(sh, row)
+		r, err := n.right.value(v, row)
 		if err != nil {
 			return err
 		}
@@ -291,43 +303,53 @@ func (n *cmpNode) eval(sh *shard, sel, out *bitmap) error {
 }
 
 // evalFloatCmp runs <col> <op> <c> (or <c> <op> <col> when flipped) over
-// the selected rows of a float column.
-func evalFloatCmp(sh *shard, sel, out *bitmap, colOp *operand, op sqlparse.CompareOp, c float64, flipped bool) error {
-	col := &sh.cols[colOp.col]
-	vals := col.floats
-	return sel.forEach(func(row int) error {
-		if !col.defined.get(row) {
-			return fmt.Errorf("sql: unknown column %q", colOp.name)
+// the selected rows of a float column, one storage extent at a time: the
+// in-memory single-extent case is the same flat slice loop as ever, while
+// mmap'd disk segments are walked in place with no per-row extent lookup.
+func evalFloatCmp(v *storeView, sel, out *bitmap, colOp *operand, op sqlparse.CompareOp, c float64, flipped bool) error {
+	cv := &v.cols[colOp.col]
+	for ei := range cv.exts {
+		ext := &cv.exts[ei]
+		vals := ext.floats
+		err := sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+			i := row - ext.base
+			if !ext.defined.get(i) {
+				return fmt.Errorf("sql: unknown column %q", colOp.name)
+			}
+			if !ext.valid.get(i) {
+				return nil // NULL never compares true
+			}
+			l, r := vals[i], c
+			if flipped {
+				l, r = r, l
+			}
+			var keep bool
+			switch op {
+			case sqlparse.OpEq:
+				keep = l == r
+			case sqlparse.OpNe:
+				keep = l != r
+			case sqlparse.OpLt:
+				keep = l < r
+			case sqlparse.OpLe:
+				keep = l <= r
+			case sqlparse.OpGt:
+				keep = l > r
+			case sqlparse.OpGe:
+				keep = l >= r
+			default:
+				return fmt.Errorf("sql: unknown operator %q", op)
+			}
+			if keep {
+				out.set(row)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		if !col.valid.get(row) {
-			return nil // NULL never compares true
-		}
-		l, r := vals[row], c
-		if flipped {
-			l, r = r, l
-		}
-		var keep bool
-		switch op {
-		case sqlparse.OpEq:
-			keep = l == r
-		case sqlparse.OpNe:
-			keep = l != r
-		case sqlparse.OpLt:
-			keep = l < r
-		case sqlparse.OpLe:
-			keep = l <= r
-		case sqlparse.OpGt:
-			keep = l > r
-		case sqlparse.OpGe:
-			keep = l >= r
-		default:
-			return fmt.Errorf("sql: unknown operator %q", op)
-		}
-		if keep {
-			out.set(row)
-		}
-		return nil
-	})
+	}
+	return nil
 }
 
 type betweenNode struct {
@@ -335,17 +357,17 @@ type betweenNode struct {
 	negate    bool
 }
 
-func (n *betweenNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *betweenNode) eval(sv *storeView, sel, out *bitmap) error {
 	return sel.forEach(func(row int) error {
-		v, err := n.v.value(sh, row)
+		v, err := n.v.value(sv, row)
 		if err != nil {
 			return err
 		}
-		lo, err := n.lo.value(sh, row)
+		lo, err := n.lo.value(sv, row)
 		if err != nil {
 			return err
 		}
-		hi, err := n.hi.value(sh, row)
+		hi, err := n.hi.value(sv, row)
 		if err != nil {
 			return err
 		}
@@ -374,15 +396,15 @@ type inNode struct {
 	negate bool
 }
 
-func (n *inNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *inNode) eval(sv *storeView, sel, out *bitmap) error {
 	return sel.forEach(func(row int) error {
-		v, err := n.v.value(sh, row)
+		v, err := n.v.value(sv, row)
 		if err != nil {
 			return err
 		}
 		found := false
 		for i := range n.items {
-			iv, err := n.items[i].value(sh, row)
+			iv, err := n.items[i].value(sv, row)
 			if err != nil {
 				return err
 			}
@@ -411,9 +433,9 @@ type likeNode struct {
 	negate  bool
 }
 
-func (n *likeNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *likeNode) eval(sv *storeView, sel, out *bitmap) error {
 	return sel.forEach(func(row int) error {
-		v, err := n.v.value(sh, row)
+		v, err := n.v.value(sv, row)
 		if err != nil {
 			return err
 		}
@@ -438,9 +460,9 @@ type isNullNode struct {
 	negate bool
 }
 
-func (n *isNullNode) eval(sh *shard, sel, out *bitmap) error {
+func (n *isNullNode) eval(sv *storeView, sel, out *bitmap) error {
 	return sel.forEach(func(row int) error {
-		v, err := n.v.value(sh, row)
+		v, err := n.v.value(sv, row)
 		if err != nil {
 			return err
 		}

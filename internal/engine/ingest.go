@@ -562,153 +562,40 @@ func (t *Table) Flush() error {
 	return t.takeIngestErrors()
 }
 
-// applyChunks applies one drained batch to the shard under a single
-// write-lock acquisition, bumping the write epoch at most once. Per row
-// it mirrors Insert exactly: first insertion fixes the attribute values,
-// later mentions extend the lineage idempotently, conflicting re-reports
-// are recorded as errors but still counted.
+// applyChunks applies one drained batch to the shard's store under a
+// single write-lock acquisition, bumping the write epoch at most once.
+// The per-row semantics live in ShardStore.ApplyBatch and mirror Insert
+// exactly: first insertion fixes the attribute values, later mentions
+// extend the lineage idempotently, conflicting re-reports are recorded as
+// errors (via the hooks) but still counted.
 func (t *Table) applyChunks(sh *shard, chunks []*obsChunk) {
-	sh.mu.Lock()
-	changed := false
-	for _, c := range chunks {
-		for i := 0; i < c.n; i++ {
-			id := c.ids[i]
-			row, exists := sh.index[id]
-			if !exists {
-				row = sh.rows()
-				sh.ids = append(sh.ids, id)
-				sh.index[id] = row
-				sh.seq = append(sh.seq, t.seq.Add(1))
-				for ci := range sh.cols {
-					appendStagedCell(&sh.cols[ci], &c.cols[ci], i, row)
-				}
-				sh.lineage = append(sh.lineage, nil)
-			}
-			if insertLineage(sh, row, c.srcs[i]) {
-				changed = true
-				// Mirror Insert exactly: value consistency is only checked
-				// when the observation actually extended the lineage — an
-				// idempotent duplicate returns before the check there too.
-				if exists {
-					if err := checkStagedConsistent(sh, t.schema, row, c, i); err != nil {
-						t.recordIngestErr(fmt.Errorf("engine: %s: entity %q: %w", t.name, id, err))
-					}
-				}
-			}
-		}
+	hooks := applyHooks{
+		schema:  t.schema,
+		nextSeq: func() uint64 { return t.seq.Add(1) },
+		conflict: func(id string, err error) {
+			t.recordIngestErr(fmt.Errorf("engine: %s: entity %q: %w", t.name, id, err))
+		},
 	}
-	if changed {
+	sh.mu.Lock()
+	if sh.store.ApplyBatch(chunks, hooks) {
 		// One epoch bump per applied batch: every cached bitmap/result
 		// built before this batch stops matching, exactly as with per-row
 		// Insert but at batch granularity (see cache.go).
-		sh.epoch++
+		sh.store.BumpEpoch()
+	}
+	if err := sh.store.Maintain(); err != nil {
+		// Housekeeping (disk-segment sealing) failed: the rows are applied
+		// and remain served from memory; surface the condition at the next
+		// Flush like any other apply-side error.
+		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
 	}
 	sh.mu.Unlock()
 }
 
-// appendStagedCell moves one staged cell into the shard column — the
-// typed twin of colVector.appendRow.
-func appendStagedCell(col *colVector, sc *stagedCol, srcRow, dstRow int) {
-	switch col.typ {
-	case TypeFloat:
-		col.floats = append(col.floats, sc.floats[srcRow])
-	case TypeString:
-		col.strs = append(col.strs, sc.strs[srcRow])
-	case TypeBool:
-		col.bools = append(col.bools, sc.bools[srcRow])
-	}
-	col.defined.grow(dstRow + 1)
-	col.valid.grow(dstRow + 1)
-	if st := sc.state[srcRow]; st != stagedMissing {
-		col.defined.set(dstRow)
-		if st == stagedValue {
-			col.valid.set(dstRow)
-		}
-	}
-}
-
-// insertLineage adds a source mention to a row's sorted lineage,
-// idempotently. Returns whether the shard changed. Caller holds the
-// shard's write lock. Shared by Insert and the batched apply path.
-func insertLineage(sh *shard, row int, sid int32) bool {
-	srcs := sh.lineage[row]
-	lo := len(srcs)
-	if lo == 0 || srcs[lo-1] < sid {
-		// Fast path: sources are interned in arrival order, so an entity's
-		// next mention usually carries the highest ID yet — a plain append.
-	} else {
-		lo = 0
-		hi := len(srcs)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if srcs[mid] < sid {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < len(srcs) && srcs[lo] == sid {
-			return false // idempotent: one source mentions an entity once
-		}
-	}
-	if len(srcs) == cap(srcs) {
-		// Lineage vectors grow in small steps; starting at 4 halves the
-		// reallocations for the common handful-of-sources entity.
-		grown := make([]int32, len(srcs), max(4, 2*cap(srcs)))
-		copy(grown, srcs)
-		srcs = grown
-	}
-	srcs = append(srcs, 0)
-	copy(srcs[lo+1:], srcs[lo:])
-	srcs[lo] = sid
-	sh.lineage[row] = srcs
-	sh.nObs++
-	return true
-}
-
-// checkStagedConsistent is checkConsistent over a staged row: a typed
-// comparison against the stored columns, no map or boxed-value traffic.
-// Caller holds the shard's write lock.
-func checkStagedConsistent(sh *shard, schema Schema, row int, c *obsChunk, srcRow int) error {
-	for ci := range schema {
-		sc := &c.cols[ci]
-		st := sc.state[srcRow]
-		if st == stagedMissing {
-			continue
-		}
-		col := &sh.cols[ci]
-		if !col.defined.get(row) {
-			continue // the row never provided this column; nothing to conflict with
-		}
-		if !col.valid.get(row) {
-			if st == stagedNull {
-				continue
-			}
-			return stagedConflictErr(schema[ci].Name, sh, sc, ci, row, srcRow)
-		}
-		if st == stagedNull {
-			return stagedConflictErr(schema[ci].Name, sh, sc, ci, row, srcRow)
-		}
-		equal := false
-		switch col.typ {
-		case TypeFloat:
-			equal = sc.floats[srcRow] == col.floats[row]
-		case TypeString:
-			equal = sc.strs[srcRow] == col.strs[row]
-		case TypeBool:
-			equal = sc.bools[srcRow] == col.bools[row]
-		}
-		if !equal {
-			return stagedConflictErr(schema[ci].Name, sh, sc, ci, row, srcRow)
-		}
-	}
-	return nil
-}
-
 // stagedConflictErr renders the conflict in Insert's error shape (values
 // are only boxed on this error path).
-func stagedConflictErr(colName string, sh *shard, sc *stagedCol, ci, row, srcRow int) error {
-	prev, _ := sh.cols[ci].value(row)
+func stagedConflictErr(colName string, cols []colVector, sc *stagedCol, ci, row, srcRow int) error {
+	prev, _ := cols[ci].value(row)
 	v, _ := sc.value(srcRow)
 	return fmt.Errorf("conflicting values for column %q: %s vs %s (input not cleaned)", colName, prev, v)
 }

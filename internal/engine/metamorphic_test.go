@@ -78,7 +78,14 @@ func buildReference(t *testing.T, obs []metaObs) *DB {
 
 func metaTable(t *testing.T) (*DB, *Table) {
 	t.Helper()
-	db := &DB{}
+	return metaTableStorage(t, StorageConfig{})
+}
+
+// metaTableStorage is metaTable on an explicit storage backend (the
+// cross-backend parity suite builds mem and disk variants side by side).
+func metaTableStorage(t *testing.T, storage StorageConfig) (*DB, *Table) {
+	t.Helper()
+	db := &DB{Storage: storage}
 	tbl, err := db.CreateTable("t", Schema{
 		{Name: "name", Type: TypeString},
 		{Name: "v", Type: TypeFloat},
@@ -88,6 +95,7 @@ func metaTable(t *testing.T) (*DB, *Table) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { db.Close() })
 	return db, tbl
 }
 
@@ -97,8 +105,13 @@ func metaTable(t *testing.T) (*DB, *Table) {
 // size, optional background appliers, and Flush barriers at random cut
 // points.
 func streamVariant(t *testing.T, rng *rand.Rand, obs []metaObs, shuffle bool) *DB {
+	return streamVariantStorage(t, rng, obs, shuffle, StorageConfig{})
+}
+
+// streamVariantStorage is streamVariant on an explicit storage backend.
+func streamVariantStorage(t *testing.T, rng *rand.Rand, obs []metaObs, shuffle bool, storage StorageConfig) *DB {
 	t.Helper()
-	db, tbl := metaTable(t)
+	db, tbl := metaTableStorage(t, storage)
 	seq := obs
 	if shuffle {
 		seq = make([]metaObs, len(obs))

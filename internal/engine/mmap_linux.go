@@ -1,0 +1,24 @@
+//go:build linux
+
+package engine
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether the platform supports memory-mapping
+// segment files at all (the disk backend's preferred serving path).
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only and shared. The returned slice
+// is page-aligned (so every page-aligned section within it is safe to
+// reinterpret as []uint64/[]float64) and stays valid after f is closed.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

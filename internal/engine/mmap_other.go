@@ -1,0 +1,18 @@
+//go:build !linux
+
+package engine
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapAvailable: non-Linux builds always use the aligned-heap ReadAt
+// fallback, so the disk backend runs (and its tests pass) anywhere.
+const mmapAvailable = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("engine: mmap unavailable on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

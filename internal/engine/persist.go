@@ -143,6 +143,10 @@ func (db *DB) Save(w io.Writer) error {
 // Load restores tables from a JSON snapshot into an empty (or partially
 // filled) database; it fails on table name collisions and leaves the
 // database unchanged on any error by staging into a scratch DB first.
+// Restored tables are created on the DB's configured storage backend, so
+// loading is also the conversion path between backends: a snapshot saved
+// from an in-memory database restores 1:1 into a disk-backed one and vice
+// versa (the snapshot format is backend-agnostic).
 func (db *DB) Load(r io.Reader) error {
 	var snap snapshotDB
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -151,7 +155,19 @@ func (db *DB) Load(r io.Reader) error {
 	if snap.Version > snapshotVersion {
 		return fmt.Errorf("engine: snapshot version %d is newer than supported %d", snap.Version, snapshotVersion)
 	}
-	var staged DB
+	staged := DB{Storage: db.Storage}
+	adopted := false
+	defer func() {
+		if adopted {
+			return
+		}
+		// Failed load: the staged tables are abandoned, so release their
+		// backend resources AND remove the segment directories they just
+		// created (nothing will ever reference those files again).
+		for _, name := range staged.TableNames() {
+			staged.tables[name].discardStorage()
+		}
+	}()
 	for _, st := range snap.Tables {
 		if _, exists := db.tables[st.Name]; exists {
 			return fmt.Errorf("engine: snapshot table %q already exists", st.Name)
@@ -190,6 +206,7 @@ func (db *DB) Load(r io.Reader) error {
 	if db.tables == nil {
 		db.tables = make(map[string]*Table)
 	}
+	adopted = true
 	for name, t := range staged.tables {
 		db.tables[name] = t
 	}

@@ -1,24 +1,29 @@
-// Package engine is the lineage-preserving in-memory query engine: the
-// "integrated database" of the paper's Figure 1. Tables store one record
-// per unique entity (the user-visible view K) together with the lineage of
-// which sources reported the entity (the multiset S). Aggregate queries
-// are answered in the open world: alongside the observed value, the
-// executor attaches estimates of the impact of unknown unknowns, the
-// Section 4 upper bound, and coverage warnings.
+// Package engine is the lineage-preserving query engine: the "integrated
+// database" of the paper's Figure 1. Tables store one record per unique
+// entity (the user-visible view K) together with the lineage of which
+// sources reported the entity (the multiset S). Aggregate queries are
+// answered in the open world: alongside the observed value, the executor
+// attaches estimates of the impact of unknown unknowns, the Section 4
+// upper bound, and coverage warnings.
 //
 // Storage is columnar and sharded: each table hashes entities across
-// fixed shards, and each shard keeps typed column vectors ([]float64,
-// []string, []bool) with defined/valid bitmaps plus a parallel lineage
-// array (the per-entity source multiset). Ingestion locks only the target
-// entity's shard, and query scans run shard-parallel with predicates
-// compiled once into vectorized filters (see filter.go). Besides the
-// per-row Insert path, tables support batched asynchronous ingestion
-// through per-shard staging buffers with a Flush barrier for
-// read-your-writes (see ingest.go).
+// fixed shards, and each shard's representation — typed column vectors
+// ([]float64, []string, []bool) with defined/valid bitmaps plus a
+// parallel lineage array (the per-entity source multiset) — lives behind
+// the ShardStore interface (store.go), with an in-memory default
+// (store_mem.go) and an mmap'd disk-backed backend (store_disk.go).
+// Ingestion locks only the target entity's shard, and query scans run
+// shard-parallel with predicates compiled once into vectorized filters
+// over the store's column views (see filter.go). Besides the per-row
+// Insert path, tables support batched asynchronous ingestion through
+// per-shard staging buffers with a Flush barrier for read-your-writes
+// (see ingest.go).
 package engine
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -88,108 +93,21 @@ func (r Record) Column(name string) (sqlparse.Value, bool) {
 // and a single entity's lineage always lives in exactly one shard.
 const numShards = 16
 
-// colVector is one shard's storage for one column: a typed value vector
-// plus two bitmaps. defined marks rows whose insert provided the column at
-// all; valid marks rows holding a non-NULL value. The distinction preserves
-// the engine's historical predicate semantics: referencing a column a
-// record never provided is an error, while a provided NULL just fails the
-// comparison.
-type colVector struct {
-	typ     ColumnType
-	floats  []float64
-	strs    []string
-	bools   []bool
-	defined bitmap
-	valid   bitmap
-}
-
-// appendRow appends one row's value. provided reports whether the insert
-// supplied the column; v is only read when provided.
-func (c *colVector) appendRow(v sqlparse.Value, provided bool) {
-	row := 0
-	switch c.typ {
-	case TypeFloat:
-		row = len(c.floats)
-		var x float64
-		if provided && v.Kind == sqlparse.ValueNumber {
-			x = v.Num
-		}
-		c.floats = append(c.floats, x)
-	case TypeString:
-		row = len(c.strs)
-		var x string
-		if provided && v.Kind == sqlparse.ValueString {
-			x = v.Str
-		}
-		c.strs = append(c.strs, x)
-	case TypeBool:
-		row = len(c.bools)
-		var x bool
-		if provided && v.Kind == sqlparse.ValueBool {
-			x = v.Bool
-		}
-		c.bools = append(c.bools, x)
-	}
-	c.defined.grow(row + 1)
-	c.valid.grow(row + 1)
-	if provided {
-		c.defined.set(row)
-		if v.Kind != sqlparse.ValueNull {
-			c.valid.set(row)
-		}
-	}
-}
-
-// value reconstructs the sqlparse.Value at row; ok is false when the row
-// never provided the column.
-func (c *colVector) value(row int) (v sqlparse.Value, ok bool) {
-	if !c.defined.get(row) {
-		return sqlparse.Value{}, false
-	}
-	if !c.valid.get(row) {
-		return sqlparse.Null(), true
-	}
-	switch c.typ {
-	case TypeFloat:
-		return sqlparse.Number(c.floats[row]), true
-	case TypeString:
-		return sqlparse.StringValue(c.strs[row]), true
-	default:
-		return sqlparse.BoolValue(c.bools[row]), true
-	}
-}
-
-// shard is one horizontal slice of a table. All per-row state is stored in
-// parallel arrays indexed by the shard-local row number; rows are never
-// deleted. seq holds the table-global first-insertion sequence number used
-// to reconstruct insertion order across shards.
+// shard is one horizontal slice of a table: a lock, the pluggable
+// storage behind it, and the batched-ingestion staging area. All storage
+// access — reads and writes alike — goes through store under mu, per the
+// ShardStore locking contract (store.go).
 type shard struct {
-	mu      sync.RWMutex
-	ids     []string
-	index   map[string]int
-	seq     []uint64
-	cols    []colVector
-	lineage [][]int32 // per-row sorted table-interned source IDs (the source multiset)
-	nObs    int
-
-	// epoch counts the shard's mutations: every Insert that changes the
-	// shard (a new row or a new lineage mention) bumps it under the write
-	// lock, and every applied ingest batch that changes the shard bumps it
-	// once for the whole batch (see ingest.go). Cached selection bitmaps
-	// and whole-query results are keyed by the epoch they were built at
-	// and are served only while the epoch still matches, so a reader can
-	// never observe cached state from before a write it could otherwise
-	// see (see cache.go).
-	epoch uint64
+	mu    sync.RWMutex
+	store ShardStore
 
 	// staging holds observations appended through the batched ingestion
-	// path that have not been applied to the columnar arrays yet; staged
-	// rows are invisible to scans until a drain applies them (see
-	// ingest.go).
+	// path that have not been applied to the store yet; staged rows are
+	// invisible to scans until a drain applies them (see ingest.go).
 	staging stagingBuf
 }
 
-func (sh *shard) rows() int { return len(sh.ids) }
+func (sh *shard) rows() int { return sh.store.Rows() }
 
 // Table is an integrated table with lineage. The zero value is not usable;
 // create tables with NewTable. Tables are safe for concurrent use: inserts
@@ -197,11 +115,13 @@ func (sh *shard) rows() int { return len(sh.ids) }
 // contend; reads and query scans briefly read-lock every shard at once and
 // therefore observe a consistent point-in-time cut of the table.
 type Table struct {
-	name   string
-	schema Schema
-	colIdx map[string]int
-	shards [numShards]*shard
-	seq    atomic.Uint64
+	name       string
+	schema     Schema
+	colIdx     map[string]int
+	shards     [numShards]*shard
+	seq        atomic.Uint64
+	storage    StorageConfig // resolved backend configuration
+	storageDir string        // this instance's segment directory ("" for mem)
 
 	// id is process-unique, so DB-level caches keyed by it can never
 	// confuse a dropped table with a later one created under the same
@@ -227,9 +147,17 @@ type Table struct {
 	ingest ingestState
 }
 
-// NewTable creates an empty table with the given schema. The schema must
-// be non-empty with unique column names.
+// NewTable creates an empty table with the given schema on the default
+// storage backend (in-memory). The schema must be non-empty with unique
+// column names.
 func NewTable(name string, schema Schema) (*Table, error) {
+	return NewTableWithStorage(name, schema, StorageConfig{})
+}
+
+// NewTableWithStorage creates an empty table on the given storage
+// backend. A zero StorageConfig selects the in-memory default; see
+// StorageConfig for the disk backend's knobs.
+func NewTableWithStorage(name string, schema Schema, storage StorageConfig) (*Table, error) {
 	if name == "" {
 		return nil, fmt.Errorf("engine: table needs a name")
 	}
@@ -246,20 +174,38 @@ func NewTable(name string, schema Schema) (*Table, error) {
 		}
 		colIdx[c.Name] = i
 	}
+	storage = resolveStorage(storage)
 	t := &Table{
-		name:   name,
-		schema: schema,
-		colIdx: colIdx,
-		srcIDs: make(map[string]int32),
-		id:     tableIDs.Add(1),
-		cache:  newScanCache(defaultProgramCacheEntries, defaultBitmapCacheBytes),
+		name:    name,
+		schema:  schema,
+		colIdx:  colIdx,
+		storage: storage,
+		srcIDs:  make(map[string]int32),
+		id:      tableIDs.Add(1),
+		cache:   newScanCache(defaultProgramCacheEntries, defaultBitmapCacheBytes),
 	}
+	dir := ""
+	if storage.Backend == BackendDisk {
+		// Per-table-instance directory: the PID plus the process-unique id
+		// keep a dropped-and-recreated table — or a concurrent process
+		// sharing the same storage root — from colliding with another
+		// instance's segment files (seal() truncate-rewrites paths, which
+		// must never happen underneath someone else's mapping).
+		dir = filepath.Join(storage.Dir, fmt.Sprintf("%s-%d-%d", name, os.Getpid(), t.id))
+	}
+	t.storageDir = dir
 	for i := range t.shards {
-		sh := &shard{index: make(map[string]int), cols: make([]colVector, len(schema))}
-		for ci, c := range schema {
-			sh.cols[ci].typ = c.Type
+		store, err := newShardStore(storage, schema, dir, i)
+		if err != nil {
+			for _, sh := range t.shards[:i] {
+				sh.store.Close()
+			}
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			return nil, err
 		}
-		t.shards[i] = sh
+		t.shards[i] = &shard{store: store}
 	}
 	return t, nil
 }
@@ -269,6 +215,34 @@ var tableIDs atomic.Uint64
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// StorageBackend reports which shard-storage backend serves the table.
+func (t *Table) StorageBackend() Backend { return t.storage.Backend }
+
+// Close releases the table's storage resources (the disk backend's
+// segment mappings; a no-op for the in-memory backend). The table must
+// not be used afterwards. Closing twice is a no-op.
+func (t *Table) Close() error {
+	var firstErr error
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		if err := sh.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// discardStorage is Close plus removal of the instance's segment
+// directory — for tables that are being abandoned (a failed snapshot
+// load), not merely closed.
+func (t *Table) discardStorage() {
+	t.Close()
+	if t.storageDir != "" {
+		os.RemoveAll(t.storageDir)
+	}
+}
 
 // SetScanCacheLimits reconfigures the table's scan caches: maxPrograms
 // bounds the compiled-filter cache (entries), maxBitmapBytes bounds the
@@ -378,7 +352,7 @@ func (t *Table) NumObservations() int {
 	defer t.rlockAll()()
 	total := 0
 	for _, sh := range t.shards {
-		total += sh.nObs
+		total += sh.store.Obs()
 	}
 	return total
 }
@@ -406,32 +380,37 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 	sh := t.shardFor(entityID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	row, exists := sh.index[entityID]
+	st := sh.store
+	row, exists := st.Lookup(entityID)
 	if !exists {
 		if err := t.validate(attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 		}
-		row = sh.rows()
-		sh.ids = append(sh.ids, entityID)
-		sh.index[entityID] = row
-		sh.seq = append(sh.seq, t.seq.Add(1))
-		for ci := range sh.cols {
+		row = st.AppendEntity(entityID, t.seq.Add(1), func(ci int) (sqlparse.Value, bool) {
 			v, ok := attrs[t.schema[ci].Name]
-			sh.cols[ci].appendRow(v, ok)
-		}
-		sh.lineage = append(sh.lineage, nil)
+			return v, ok
+		})
 	}
-	if !insertLineage(sh, row, sid) {
+	if !st.AddLineage(row, sid) {
 		// Idempotent: one source mentions an entity once.
 		return nil
 	}
-	// The shard changed (new row and/or new lineage mention): bump the
+	// The store changed (new row and/or new lineage mention): bump the
 	// write epoch so cached bitmaps and results built before this insert
 	// stop matching. The idempotent re-insert path above returns without
 	// bumping — nothing changed, caches stay warm.
-	sh.epoch++
+	st.BumpEpoch()
+	// Housekeeping failures (a disk-backend seal hitting an IO error) are
+	// deliberately NOT Insert failures: the observation is fully applied
+	// and visible either way, and returning an error here would make
+	// callers miscount a successful insert as a failed one. Like the
+	// batched path, the condition is recorded and surfaced by the table's
+	// next Flush.
+	if err := st.Maintain(); err != nil {
+		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
+	}
 	if exists {
-		if err := t.checkConsistent(sh, row, attrs); err != nil {
+		if err := t.checkConsistent(st, row, attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 		}
 	}
@@ -463,13 +442,13 @@ func (t *Table) validate(attrs map[string]sqlparse.Value) error {
 	return nil
 }
 
-func (t *Table) checkConsistent(sh *shard, row int, attrs map[string]sqlparse.Value) error {
+func (t *Table) checkConsistent(st ShardStore, row int, attrs map[string]sqlparse.Value) error {
 	for name, v := range attrs {
 		ci, ok := t.colIdx[name]
 		if !ok {
 			continue
 		}
-		prev, ok := sh.cols[ci].value(row)
+		prev, ok := st.Value(row, ci)
 		if !ok {
 			continue
 		}
@@ -480,15 +459,15 @@ func (t *Table) checkConsistent(sh *shard, row int, attrs map[string]sqlparse.Va
 	return nil
 }
 
-// record materializes the user-visible Record at a shard row.
-func (sh *shard) record(t *Table, row int) Record {
+// record materializes the user-visible Record at a view row.
+func (t *Table) record(v *storeView, row int) Record {
 	attrs := make(map[string]sqlparse.Value, len(t.schema))
-	for ci := range sh.cols {
-		if v, ok := sh.cols[ci].value(row); ok {
-			attrs[t.schema[ci].Name] = v
+	for ci := range v.cols {
+		if val, ok := v.cols[ci].value(row); ok {
+			attrs[t.schema[ci].Name] = val
 		}
 	}
-	return Record{EntityID: sh.ids[row], Attrs: attrs}
+	return Record{EntityID: v.ids[row], Attrs: attrs}
 }
 
 // Records returns the user-visible records in insertion order.
@@ -500,8 +479,9 @@ func (t *Table) Records() []Record {
 	var all []seqRecord
 	release := t.rlockAll()
 	for _, sh := range t.shards {
-		for row := 0; row < sh.rows(); row++ {
-			all = append(all, seqRecord{sh.seq[row], sh.record(t, row)})
+		v := sh.store.View()
+		for row := 0; row < v.rows; row++ {
+			all = append(all, seqRecord{v.seqs[row], t.record(v, row)})
 		}
 	}
 	release()
@@ -522,7 +502,8 @@ func (t *Table) sourceIDCounts() (counts []int, names []string) {
 	names = t.sourceNameTable()
 	counts = make([]int, len(names))
 	for _, sh := range t.shards {
-		for _, srcs := range sh.lineage {
+		v := sh.store.View()
+		for _, srcs := range v.lineage[:v.rows] {
 			for _, sid := range srcs {
 				counts[sid]++
 			}
@@ -551,11 +532,11 @@ func (t *Table) ObservationCount(entityID string) int {
 	sh := t.shardFor(entityID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	row, ok := sh.index[entityID]
+	row, ok := sh.store.Lookup(entityID)
 	if !ok {
 		return 0
 	}
-	return len(sh.lineage[row])
+	return len(sh.store.Lineage(row))
 }
 
 // rowData is one entity's snapshot view (persistence and tooling).
@@ -566,7 +547,9 @@ type rowData struct {
 }
 
 // rowsSnapshot returns every row (attrs, sorted sources) in insertion
-// order, under per-shard read locks.
+// order, under per-shard read locks. It is backend-agnostic — the walk
+// goes through the store views — so snapshots serialize identically from
+// any ShardStore implementation.
 func (t *Table) rowsSnapshot() []rowData {
 	type seqRow struct {
 		seq uint64
@@ -576,14 +559,15 @@ func (t *Table) rowsSnapshot() []rowData {
 	release := t.rlockAll()
 	names := t.sourceNameTable()
 	for _, sh := range t.shards {
-		for row := 0; row < sh.rows(); row++ {
-			rec := sh.record(t, row)
-			srcs := make([]string, len(sh.lineage[row]))
-			for i, sid := range sh.lineage[row] {
+		v := sh.store.View()
+		for row := 0; row < v.rows; row++ {
+			rec := t.record(v, row)
+			srcs := make([]string, len(v.lineage[row]))
+			for i, sid := range v.lineage[row] {
 				srcs[i] = names[sid]
 			}
 			sort.Strings(srcs)
-			all = append(all, seqRow{sh.seq[row], rowData{ID: rec.EntityID, Attrs: rec.Attrs, Sources: srcs}})
+			all = append(all, seqRow{v.seqs[row], rowData{ID: rec.EntityID, Attrs: rec.Attrs, Sources: srcs}})
 		}
 	}
 	release()
@@ -615,8 +599,8 @@ type sampleRow struct {
 }
 
 // samplePart is one shard's contribution to a Sample. Lineage is copied
-// out of the shard (the shard's own rows can be mutated by later inserts
-// once the scan's read lock is released) into one arena per part — no
+// out of the store (its rows can be mutated by later inserts once the
+// scan's read lock is released) into one arena per part — no
 // per-observation string hashing, no per-part source tallies.
 type samplePart struct {
 	rows   []sampleRow
@@ -629,13 +613,13 @@ func (p *samplePart) lineage(r sampleRow) []int32 {
 }
 
 // keepRow appends one kept row (and its lineage copy) to the part.
-func (p *samplePart) keepRow(sh *shard, row int, value float64) {
-	srcs := sh.lineage[row]
+func (p *samplePart) keepRow(v *storeView, row int, value float64) {
+	srcs := v.lineage[row]
 	off := int32(len(p.srcBuf))
 	p.srcBuf = append(p.srcBuf, srcs...)
 	p.rows = append(p.rows, sampleRow{
-		seq:    sh.seq[row],
-		id:     sh.ids[row],
+		seq:    v.seqs[row],
+		id:     v.ids[row],
 		value:  value,
 		srcOff: off,
 		srcLen: int32(len(srcs)),
@@ -643,20 +627,21 @@ func (p *samplePart) keepRow(sh *shard, row int, value float64) {
 }
 
 // selectionFor returns the selection bitmap of the compiled predicate
-// over one shard: every row for a nil program, the cached bitmap when the
-// scan cache holds one built at the shard's current epoch, and otherwise
-// a fresh evaluation whose result is published to the cache. The caller
-// must hold the shard's read lock (so the epoch cannot move under the
-// lookup) and must treat the returned bitmap as read-only; cleanup
-// returns any pooled scratch.
-func (t *Table) selectionFor(sh *shard, si int, key string, prog *filterProgram) (sel *bitmap, cleanup func(), err error) {
-	n := sh.rows()
+// over one shard view: every row for a nil program, the cached bitmap
+// when the scan cache holds one built at the shard's current epoch, and
+// otherwise a fresh evaluation whose result is published to the cache.
+// The caller must hold the shard's read lock (so the epoch cannot move
+// under the lookup) and must treat the returned bitmap as read-only;
+// cleanup returns any pooled scratch.
+func (t *Table) selectionFor(sh *shard, v *storeView, si int, key string, prog *filterProgram) (sel *bitmap, cleanup func(), err error) {
+	n := v.rows
 	if prog == nil {
 		all := borrowBitmap(n)
 		all.setAll()
 		return all, func() { releaseBitmap(all) }, nil
 	}
-	if bits, ok := t.cache.lookupBitmap(key, si, sh.epoch); ok {
+	epoch := sh.store.Epoch()
+	if bits, ok := t.cache.lookupBitmap(key, si, epoch); ok {
 		return bits, func() {}, nil
 	}
 	full := borrowBitmap(n)
@@ -666,7 +651,7 @@ func (t *Table) selectionFor(sh *shard, si int, key string, prog *filterProgram)
 		// Cache off (or shard over budget): pure pooled path, identical
 		// to the pre-cache scan.
 		out := borrowBitmap(n)
-		if err := prog.eval(sh, full, out); err != nil {
+		if err := prog.eval(v, full, out); err != nil {
 			releaseBitmap(out)
 			return nil, nil, fmt.Errorf("engine: %s: %w", t.name, err)
 		}
@@ -675,10 +660,10 @@ func (t *Table) selectionFor(sh *shard, si int, key string, prog *filterProgram)
 	// The result bitmap is allocated outside the pool: on store the cache
 	// takes ownership and later scans share it read-only.
 	out := newBitmap(n)
-	if err := prog.eval(sh, full, out); err != nil {
+	if err := prog.eval(v, full, out); err != nil {
 		return nil, nil, fmt.Errorf("engine: %s: %w", t.name, err)
 	}
-	t.cache.storeBitmap(key, si, sh.epoch, out)
+	t.cache.storeBitmap(key, si, epoch, out)
 	return out, func() {}, nil
 }
 
@@ -687,30 +672,42 @@ func (t *Table) selectionFor(sh *shard, si int, key string, prog *filterProgram)
 // aggregation (value 0, NULLs kept). key is the predicate's cache key
 // (filterKey). The shard must be read-locked by the caller.
 func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterProgram) (*samplePart, error) {
-	n := sh.rows()
 	part := &samplePart{}
-	if n == 0 {
+	if sh.rows() == 0 {
 		return part, nil
 	}
-	sel, cleanup, err := t.selectionFor(sh, si, key, prog)
+	v := sh.store.View()
+	sel, cleanup, err := t.selectionFor(sh, v, si, key, prog)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
-	err = sel.forEach(func(row int) error {
-		var value float64
-		if attrCol >= 0 {
-			col := &sh.cols[attrCol]
-			if !col.defined.get(row) || !col.valid.get(row) {
+	if attrCol < 0 {
+		err = sel.forEach(func(row int) error {
+			part.keepRow(v, row, 0)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return part, nil
+	}
+	// Extent-wise walk of the aggregate column: the selection ascends, so
+	// kept rows land in global row order exactly as a flat loop would.
+	cv := &v.cols[attrCol]
+	for ei := range cv.exts {
+		ext := &cv.exts[ei]
+		err = sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+			i := row - ext.base
+			if !ext.defined.get(i) || !ext.valid.get(i) {
 				return nil // NULL attr: skipped, mirroring SQL aggregates
 			}
-			value = col.floats[row]
+			part.keepRow(v, row, ext.floats[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		part.keepRow(sh, row, value)
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return part, nil
 }
@@ -825,7 +822,7 @@ func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.S
 	release := t.rlockAll()
 	names := t.sourceNameTable()
 	for i, sh := range t.shards {
-		epochs[i] = sh.epoch
+		epochs[i] = sh.store.Epoch()
 	}
 	err = t.forEachShard(func(i int, sh *shard) error {
 		p, err := t.scanShard(sh, i, attrCol, key, prog)
@@ -869,7 +866,7 @@ func (t *Table) epochVector() [numShards]uint64 {
 	var epochs [numShards]uint64
 	release := t.rlockAll()
 	for i, sh := range t.shards {
-		epochs[i] = sh.epoch
+		epochs[i] = sh.store.Epoch()
 	}
 	release()
 	return epochs
@@ -912,7 +909,7 @@ func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Ex
 	release := t.rlockAll()
 	names := t.sourceNameTable()
 	for i, sh := range t.shards {
-		epochs[i] = sh.epoch
+		epochs[i] = sh.store.Epoch()
 	}
 	err = t.forEachShard(func(i int, sh *shard) error {
 		g, err := t.scanShardGrouped(sh, i, attrCol, groupCol, key, prog)
@@ -958,26 +955,19 @@ func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Ex
 // scanShardGrouped is scanShard with a per-group partition step. The shard
 // must be read-locked by the caller.
 func (t *Table) scanShardGrouped(sh *shard, si, attrCol, groupCol int, key string, prog *filterProgram) (map[string]*groupPart, error) {
-	n := sh.rows()
 	groups := map[string]*groupPart{}
-	if n == 0 {
+	if sh.rows() == 0 {
 		return groups, nil
 	}
-	sel, cleanup, err := t.selectionFor(sh, si, key, prog)
+	v := sh.store.View()
+	sel, cleanup, err := t.selectionFor(sh, v, si, key, prog)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
-	err = sel.forEach(func(row int) error {
-		var value float64
-		if attrCol >= 0 {
-			col := &sh.cols[attrCol]
-			if !col.defined.get(row) || !col.valid.get(row) {
-				return nil
-			}
-			value = col.floats[row]
-		}
-		gk, ok := sh.cols[groupCol].value(row)
+	groupCV := &v.cols[groupCol]
+	keep := func(row int, value float64) {
+		gk, ok := groupCV.value(row)
 		if !ok {
 			gk = sqlparse.Null()
 		}
@@ -987,11 +977,32 @@ func (t *Table) scanShardGrouped(sh *shard, si, attrCol, groupCol int, key strin
 			gp = &groupPart{key: gk}
 			groups[keyStr] = gp
 		}
-		gp.part.keepRow(sh, row, value)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		gp.part.keepRow(v, row, value)
+	}
+	if attrCol < 0 {
+		err = sel.forEach(func(row int) error {
+			keep(row, 0)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return groups, nil
+	}
+	cv := &v.cols[attrCol]
+	for ei := range cv.exts {
+		ext := &cv.exts[ei]
+		err = sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+			i := row - ext.base
+			if !ext.defined.get(i) || !ext.valid.get(i) {
+				return nil
+			}
+			keep(row, ext.floats[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return groups, nil
 }
