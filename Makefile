@@ -11,7 +11,7 @@ BENCH_NOTE ?=
 BENCH_RECORD_OUT ?= BENCH_PR3.json
 FUZZTIME ?= 10s
 
-.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record fuzz-smoke ci
+.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record bench-scaling fuzz-smoke ci
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -55,6 +55,14 @@ bench-compare:
 bench-record:
 	go test -run=NONE -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) ./... | tee '$(BENCH_OUT)'
 	go run ./cmd/benchgate record -in '$(BENCH_OUT)' -out '$(BENCH_RECORD_OUT)' -note '$(BENCH_NOTE)'
+
+# bench-scaling charts scan and fan-out throughput (rows/s) against
+# GOMAXPROCS. The shard scan should scale near-linearly on multi-core
+# hosted runners; the dev container is 1-CPU, so all -cpu points
+# coincide there — the canonical curve comes from the CI bench-compare
+# artifact (scaling.txt).
+bench-scaling:
+	go test -run=NONE -bench='^BenchmarkScaling' -cpu 1,2,4 -benchmem -count=$(BENCH_COUNT) .
 
 # fuzz-smoke runs each native fuzz target briefly (coverage-guided, so
 # even a short run mutates past the seed corpus). Crashers land in

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sqlparse"
 )
@@ -184,4 +185,37 @@ func BenchmarkMultiPassScanWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		multiPass(b, tbl)
 	}
+}
+
+// BenchmarkMultiBucketQuery runs a query whose estimator set carries two
+// bucket passes with identical boundaries (same strategy, different
+// inner estimators) — the configuration the per-query sample-filter
+// cache targets: the second pass's sub-range restrictions are served
+// from the cache instead of re-filtering the root sample, and the
+// singleflight inside the cache keeps concurrent passes from building
+// the same sub-sample twice. Filter hits/misses appear in
+// DB.CacheStats (and `uuquery -cache-stats`).
+func BenchmarkMultiBucketQuery(b *testing.B) {
+	db, _ := buildColumnarBenchTable(b)
+	db.Estimators = []core.SumEstimator{
+		core.Bucket{Strategy: core.EquiWidth{K: 16}, Inner: core.Naive{}},
+		core.Bucket{Strategy: core.EquiWidth{K: 16}, Inner: core.Frequency{}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(repeatedQuerySQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Observed <= 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.StopTimer()
+	s := db.CacheStats()
+	if s.FilterHits == 0 {
+		b.Fatal("sample-filter cache saw no hits")
+	}
+	b.ReportMetric(float64(s.FilterHits)/float64(s.FilterHits+s.FilterMisses), "filter-hit-rate")
 }

@@ -352,6 +352,8 @@ func printCacheStats(db *engine.DB, tbl *engine.Table, enabled bool) {
 		s.ProgramHits, s.ProgramMisses, s.BitmapHits, s.BitmapMisses, s.BitmapBytes, s.BitmapEvictions)
 	fmt.Printf("           results %d hits / %d misses (%d bytes, %d evictions)\n",
 		s.ResultHits, s.ResultMisses, s.ResultBytes, s.ResultEvictions)
+	fmt.Printf("           sample filters %d hits / %d misses (per-query bucket sub-range sharing)\n",
+		s.FilterHits, s.FilterMisses)
 }
 
 // saveSnapshot writes the database to path when set.

@@ -112,13 +112,12 @@ type BucketStrategy interface {
 // reports the exact per-source sizes n_j of its value range: an inner
 // Monte-Carlo estimator (or a streaker diagnosis) sees the true per-range
 // source profile, including sources concentrated in a single range.
+// FilterRange consults the sample's attached per-query filter cache (if
+// any): every bucket strategy of a query partitions the same population,
+// and a dynamic split re-tries boundaries its siblings already built, so
+// repeated sub-range restrictions become lookups instead of rebuilds.
 func rangeSample(s *freqstats.Sample, inner SumEstimator, lo, hi float64, last bool) BucketResult {
-	sub := s.Filter(func(_ string, v float64) bool {
-		if last {
-			return v >= lo && v <= hi
-		}
-		return v >= lo && v < hi
-	})
+	sub := s.FilterRange(lo, hi, last)
 	return BucketResult{Lo: lo, Hi: hi, Sample: sub, Est: inner.EstimateSum(sub)}
 }
 

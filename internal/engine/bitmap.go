@@ -93,6 +93,127 @@ func (b *bitmap) andNot(other *bitmap) {
 	}
 }
 
+// clampRange clips [lo, hi) to the bitmap's valid bits.
+func (b *bitmap) clampRange(lo, hi int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	return lo, hi
+}
+
+// rangeBounds resolves a clipped non-empty [lo, hi) to its first and last
+// word index plus the partial-word masks at each boundary: headMask keeps
+// the bits of word w0 at or above lo, tailMask keeps the bits of word w1
+// below hi. For a range within one word the effective mask is their
+// intersection.
+func rangeBounds(lo, hi int) (w0, w1 int, headMask, tailMask uint64) {
+	w0, w1 = lo>>6, (hi-1)>>6
+	headMask = ^uint64(0) << (uint(lo) & 63)
+	tailMask = ^uint64(0)
+	if t := uint(hi) & 63; t != 0 {
+		tailMask = (uint64(1) << t) - 1
+	}
+	return w0, w1, headMask, tailMask
+}
+
+// andWords sets b = b & other over bits [lo, hi) only; bits outside the
+// range are untouched. Boundary words are masked (inside the mask the
+// combine applies, outside the original bit survives), interior words are
+// single whole-word operations — the word-at-a-time combine contract the
+// scan kernels build on.
+func (b *bitmap) andWords(other *bitmap, lo, hi int) {
+	lo, hi = b.clampRange(lo, hi)
+	if lo >= hi {
+		return
+	}
+	w0, w1, head, tail := rangeBounds(lo, hi)
+	if w0 == w1 {
+		m := head & tail
+		b.words[w0] &= other.words[w0] | ^m
+		return
+	}
+	b.words[w0] &= other.words[w0] | ^head
+	for w := w0 + 1; w < w1; w++ {
+		b.words[w] &= other.words[w]
+	}
+	b.words[w1] &= other.words[w1] | ^tail
+}
+
+// orWords sets b = b | other over bits [lo, hi) only.
+func (b *bitmap) orWords(other *bitmap, lo, hi int) {
+	lo, hi = b.clampRange(lo, hi)
+	if lo >= hi {
+		return
+	}
+	w0, w1, head, tail := rangeBounds(lo, hi)
+	if w0 == w1 {
+		b.words[w0] |= other.words[w0] & head & tail
+		return
+	}
+	b.words[w0] |= other.words[w0] & head
+	for w := w0 + 1; w < w1; w++ {
+		b.words[w] |= other.words[w]
+	}
+	b.words[w1] |= other.words[w1] & tail
+}
+
+// andNotWords sets b = b &^ other over bits [lo, hi) only.
+func (b *bitmap) andNotWords(other *bitmap, lo, hi int) {
+	lo, hi = b.clampRange(lo, hi)
+	if lo >= hi {
+		return
+	}
+	w0, w1, head, tail := rangeBounds(lo, hi)
+	if w0 == w1 {
+		b.words[w0] &^= other.words[w0] & head & tail
+		return
+	}
+	b.words[w0] &^= other.words[w0] & head
+	for w := w0 + 1; w < w1; w++ {
+		b.words[w] &^= other.words[w]
+	}
+	b.words[w1] &^= other.words[w1] & tail
+}
+
+// countRange returns the number of set bits in [lo, hi).
+func (b *bitmap) countRange(lo, hi int) int {
+	lo, hi = b.clampRange(lo, hi)
+	if lo >= hi {
+		return 0
+	}
+	w0, w1, head, tail := rangeBounds(lo, hi)
+	if w0 == w1 {
+		return bits.OnesCount64(b.words[w0] & head & tail)
+	}
+	c := bits.OnesCount64(b.words[w0] & head)
+	for w := w0 + 1; w < w1; w++ {
+		c += bits.OnesCount64(b.words[w])
+	}
+	return c + bits.OnesCount64(b.words[w1]&tail)
+}
+
+// forEachSet calls fn for every set bit in ascending order, with a dense
+// fast path: an all-ones word becomes a straight 64-iteration run with no
+// bit-scanning. For gather loops that cannot fail (no error plumbing).
+func (b *bitmap) forEachSet(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		if w == ^uint64(0) {
+			for i := base; i < base+64; i++ {
+				fn(i)
+			}
+			continue
+		}
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // copyFrom overwrites b with other (same length).
 func (b *bitmap) copyFrom(other *bitmap) {
 	b.words = b.words[:len(other.words)]

@@ -57,6 +57,11 @@ type CacheStats struct {
 	ResultHits, ResultMisses   uint64
 	ResultEvictions            uint64
 	ResultBytes                int
+	// FilterHits/FilterMisses count the executor's per-query sample-filter
+	// cache (freqstats.FilterCache): bucket sub-range samples shared across
+	// estimator passes vs built fresh. Unlike the other layers the cache
+	// itself lives only for one query; the counters accumulate on the DB.
+	FilterHits, FilterMisses uint64
 }
 
 // add accumulates other into s (for DB-level aggregation).
@@ -71,6 +76,8 @@ func (s *CacheStats) add(other CacheStats) {
 	s.ResultMisses += other.ResultMisses
 	s.ResultEvictions += other.ResultEvictions
 	s.ResultBytes += other.ResultBytes
+	s.FilterHits += other.FilterHits
+	s.FilterMisses += other.FilterMisses
 }
 
 // filterKey canonicalizes a predicate for cache keys. Expr.String renders

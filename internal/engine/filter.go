@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/sqlparse"
@@ -248,24 +249,88 @@ func (n *boolColNode) eval(v *storeView, sel, out *bitmap) error {
 	cv := &v.cols[n.col]
 	for ei := range cv.exts {
 		ext := &cv.exts[ei]
-		err := sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
-			i := row - ext.base
-			if !ext.defined.get(i) {
-				return fmt.Errorf("sql: unknown column %q", n.name)
-			}
-			if !n.isBool || !ext.valid.get(i) {
-				return fmt.Errorf("sql: column %q is not boolean", n.name)
-			}
-			if ext.boolAt(i) {
-				out.set(row)
-			}
-			return nil
-		})
+		var err error
+		if ext.wordAligned() {
+			err = n.evalWords(ext, sel, out)
+		} else {
+			err = n.evalScalar(ext, sel, out)
+		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// evalWords is the word-at-a-time bool-column kernel: per 64-row word it
+// masks the selection to the extent, validates defined/valid/type as word
+// operations, and ORs the packed bool storage into the output.
+func (n *boolColNode) evalWords(ext *colExtent, sel, out *bitmap) error {
+	bw := ext.base >> 6
+	nw := (ext.n + 63) >> 6
+	for w := 0; w < nw; w++ {
+		selw := sel.words[bw+w]
+		lo := w << 6
+		hi := lo + 64
+		if hi > ext.n {
+			hi = ext.n
+			selw &= ext.tailMask()
+		}
+		if selw == 0 {
+			continue
+		}
+		defw := ext.defined.words[w]
+		undef := selw &^ defw
+		invalid := (selw & defw) &^ ext.valid.words[w]
+		if !n.isBool {
+			invalid = selw & defw // a non-bool column errors on any defined row
+		}
+		if undef|invalid != 0 {
+			// Report for the lowest offending row, exactly as the ascending
+			// scalar walk would.
+			if undef != 0 && (invalid == 0 || bits.TrailingZeros64(undef) < bits.TrailingZeros64(invalid)) {
+				return fmt.Errorf("sql: unknown column %q", n.name)
+			}
+			return fmt.Errorf("sql: column %q is not boolean", n.name)
+		}
+		out.words[bw+w] |= selw & boolWord(ext, lo, hi)
+	}
+	return nil
+}
+
+// evalScalar is the per-row reference path, used for extents that do not
+// start on a word boundary (and as the oracle the kernel parity tests
+// compare against).
+func (n *boolColNode) evalScalar(ext *colExtent, sel, out *bitmap) error {
+	return sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+		i := row - ext.base
+		if !ext.defined.get(i) {
+			return fmt.Errorf("sql: unknown column %q", n.name)
+		}
+		if !n.isBool || !ext.valid.get(i) {
+			return fmt.Errorf("sql: column %q is not boolean", n.name)
+		}
+		if ext.boolAt(i) {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+// boolWord packs rows [lo, hi) of the extent's bool storage into the low
+// bits of one word.
+func boolWord(ext *colExtent, lo, hi int) uint64 {
+	var w uint64
+	if ext.bools != nil {
+		for i, b := range ext.bools[lo:hi] {
+			w |= b2u(b) << uint(i)
+		}
+		return w
+	}
+	for i, b := range ext.boolBytes[lo:hi] {
+		w |= b2u(b != 0) << uint(i)
+	}
+	return w
 }
 
 type cmpNode struct {
@@ -303,53 +368,168 @@ func (n *cmpNode) eval(v *storeView, sel, out *bitmap) error {
 }
 
 // evalFloatCmp runs <col> <op> <c> (or <c> <op> <col> when flipped) over
-// the selected rows of a float column, one storage extent at a time: the
-// in-memory single-extent case is the same flat slice loop as ever, while
-// mmap'd disk segments are walked in place with no per-row extent lookup.
+// the selected rows of a float column, one storage extent at a time.
+// Word-aligned extents — the memory backend always, disk segments under
+// the default SegmentRows — take the word-at-a-time kernel: 64 rows per
+// iteration, the compare word built with branch-free bit ops and ANDed
+// against the selection/defined/valid words, no per-row closure call.
+// Unaligned extents fall back to the per-row scalar walk.
 func evalFloatCmp(v *storeView, sel, out *bitmap, colOp *operand, op sqlparse.CompareOp, c float64, flipped bool) error {
+	if flipped {
+		// <c> <op> <col> mirrors to <col> <op'> <c>; exact for every float
+		// (including NaN operands — both orderings compare false).
+		op = flipCmp(op)
+	}
+	switch op {
+	case sqlparse.OpEq, sqlparse.OpNe, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+	default:
+		return fmt.Errorf("sql: unknown operator %q", op)
+	}
 	cv := &v.cols[colOp.col]
 	for ei := range cv.exts {
 		ext := &cv.exts[ei]
-		vals := ext.floats
-		err := sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
-			i := row - ext.base
-			if !ext.defined.get(i) {
-				return fmt.Errorf("sql: unknown column %q", colOp.name)
-			}
-			if !ext.valid.get(i) {
-				return nil // NULL never compares true
-			}
-			l, r := vals[i], c
-			if flipped {
-				l, r = r, l
-			}
-			var keep bool
-			switch op {
-			case sqlparse.OpEq:
-				keep = l == r
-			case sqlparse.OpNe:
-				keep = l != r
-			case sqlparse.OpLt:
-				keep = l < r
-			case sqlparse.OpLe:
-				keep = l <= r
-			case sqlparse.OpGt:
-				keep = l > r
-			case sqlparse.OpGe:
-				keep = l >= r
-			default:
-				return fmt.Errorf("sql: unknown operator %q", op)
-			}
-			if keep {
-				out.set(row)
-			}
-			return nil
-		})
+		var err error
+		if ext.wordAligned() {
+			err = evalFloatCmpWords(ext, sel, out, colOp.name, op, c)
+		} else {
+			err = evalFloatCmpScalar(ext, sel, out, colOp.name, op, c)
+		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// flipCmp mirrors a comparison across its operands: c op v == v flipCmp(op) c.
+func flipCmp(op sqlparse.CompareOp) sqlparse.CompareOp {
+	switch op {
+	case sqlparse.OpLt:
+		return sqlparse.OpGt
+	case sqlparse.OpLe:
+		return sqlparse.OpGe
+	case sqlparse.OpGt:
+		return sqlparse.OpLt
+	case sqlparse.OpGe:
+		return sqlparse.OpLe
+	default:
+		return op
+	}
+}
+
+// b2u converts a bool to 0/1 without a branch (the compiler emits SETcc),
+// which is what keeps the compare-word builders branch-light.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalFloatCmpWords is the word-at-a-time float compare kernel over one
+// aligned extent. Per 64-row word: mask the selection to the extent,
+// reject selected-but-undefined rows (word test — the error is
+// row-independent), drop NULLs via the valid word, and build the compare
+// result for the whole slab before a single OR into the output word.
+func evalFloatCmpWords(ext *colExtent, sel, out *bitmap, colName string, op sqlparse.CompareOp, c float64) error {
+	bw := ext.base >> 6
+	nw := (ext.n + 63) >> 6
+	vals := ext.floats
+	defWords := ext.defined.words
+	validWords := ext.valid.words
+	for w := 0; w < nw; w++ {
+		selw := sel.words[bw+w]
+		lo := w << 6
+		hi := lo + 64
+		if hi > ext.n {
+			hi = ext.n
+			selw &= ext.tailMask()
+		}
+		if selw == 0 {
+			continue
+		}
+		if selw&^defWords[w] != 0 {
+			return fmt.Errorf("sql: unknown column %q", colName)
+		}
+		cand := selw & validWords[w] // NULL never compares true
+		if cand == 0 {
+			continue
+		}
+		out.words[bw+w] |= cand & cmpFloatWord(op, vals[lo:hi], c)
+	}
+	return nil
+}
+
+// cmpFloatWord compares up to 64 contiguous values against the constant
+// and packs the outcomes into the low bits of one word. One dispatch per
+// word, branch-free accumulation per row.
+func cmpFloatWord(op sqlparse.CompareOp, vals []float64, c float64) uint64 {
+	var w uint64
+	switch op {
+	case sqlparse.OpEq:
+		for i, v := range vals {
+			w |= b2u(v == c) << uint(i)
+		}
+	case sqlparse.OpNe:
+		for i, v := range vals {
+			w |= b2u(v != c) << uint(i)
+		}
+	case sqlparse.OpLt:
+		for i, v := range vals {
+			w |= b2u(v < c) << uint(i)
+		}
+	case sqlparse.OpLe:
+		for i, v := range vals {
+			w |= b2u(v <= c) << uint(i)
+		}
+	case sqlparse.OpGt:
+		for i, v := range vals {
+			w |= b2u(v > c) << uint(i)
+		}
+	case sqlparse.OpGe:
+		for i, v := range vals {
+			w |= b2u(v >= c) << uint(i)
+		}
+	}
+	return w
+}
+
+// evalFloatCmpScalar is the per-row reference path: extents that do not
+// start on a word boundary, and the oracle the kernel parity tests
+// compare against. op is already flip-normalized by evalFloatCmp.
+func evalFloatCmpScalar(ext *colExtent, sel, out *bitmap, colName string, op sqlparse.CompareOp, c float64) error {
+	vals := ext.floats
+	return sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+		i := row - ext.base
+		if !ext.defined.get(i) {
+			return fmt.Errorf("sql: unknown column %q", colName)
+		}
+		if !ext.valid.get(i) {
+			return nil // NULL never compares true
+		}
+		v := vals[i]
+		var keep bool
+		switch op {
+		case sqlparse.OpEq:
+			keep = v == c
+		case sqlparse.OpNe:
+			keep = v != c
+		case sqlparse.OpLt:
+			keep = v < c
+		case sqlparse.OpLe:
+			keep = v <= c
+		case sqlparse.OpGt:
+			keep = v > c
+		case sqlparse.OpGe:
+			keep = v >= c
+		default:
+			return fmt.Errorf("sql: unknown operator %q", op)
+		}
+		if keep {
+			out.set(row)
+		}
+		return nil
+	})
 }
 
 type betweenNode struct {

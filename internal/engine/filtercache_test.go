@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// multiBucketEstimators is an estimator set with two bucket passes that
+// partition the sample identically (same strategy, different inner
+// estimators) — the configuration the per-query sample-filter cache
+// exists for: every sub-range the second pass asks for was already built
+// by the first.
+func multiBucketEstimators() []core.SumEstimator {
+	return []core.SumEstimator{
+		core.Bucket{Strategy: core.EquiWidth{K: 8}, Inner: core.Naive{}},
+		core.Bucket{Strategy: core.EquiWidth{K: 8}, Inner: core.Frequency{}},
+	}
+}
+
+// TestFilterCacheSharesAcrossBucketPasses: with two same-strategy bucket
+// passes, the second pass's sub-range restrictions must be served from
+// the per-query filter cache, and every key must be requested exactly
+// twice (singleflight makes the counts deterministic even though the
+// executor fans the passes out in parallel).
+func TestFilterCacheSharesAcrossBucketPasses(t *testing.T) {
+	db, _ := buildCacheTable(t, 1200)
+	db.Estimators = multiBucketEstimators()
+	res, err := db.Query("SELECT SUM(v) FROM t WHERE v >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed <= 0 {
+		t.Fatal("empty result")
+	}
+	stats := db.CacheStats()
+	if stats.FilterHits == 0 {
+		t.Errorf("filter cache saw no hits (misses=%d); second bucket pass rebuilt every sub-range", stats.FilterMisses)
+	}
+	if stats.FilterHits != stats.FilterMisses {
+		t.Errorf("filter hits=%d misses=%d; identical strategies should request every key exactly twice",
+			stats.FilterHits, stats.FilterMisses)
+	}
+}
+
+// TestFilterCacheEstimateParity: estimates computed with the filter cache
+// attached (multi-bucket set) must be bit-identical to the same estimator
+// run alone on a fresh database, where no cache attaches.
+func TestFilterCacheEstimateParity(t *testing.T) {
+	const sql = "SELECT SUM(v) FROM t WHERE v >= 100 AND v < 900"
+	db, _ := buildCacheTable(t, 1200)
+	db.Estimators = multiBucketEstimators()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.CacheStats().FilterHits == 0 {
+		t.Fatal("filter cache saw no hits; parity check would be vacuous")
+	}
+	for _, est := range multiBucketEstimators() {
+		solo, _ := buildCacheTable(t, 1200)
+		solo.Estimators = []core.SumEstimator{est}
+		soloRes, err := solo.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := est.Name()
+		if !reflect.DeepEqual(res.Estimates[name], soloRes.Estimates[name]) {
+			t.Errorf("%s: cached estimate %+v != solo estimate %+v",
+				name, res.Estimates[name], soloRes.Estimates[name])
+		}
+	}
+}
+
+// TestFilterCacheNotAttachedForSinglePass: with at most one bucket pass
+// the cache would be pure fingerprinting overhead — every probe a miss —
+// so the executor must not attach it and the counters must stay zero.
+func TestFilterCacheNotAttachedForSinglePass(t *testing.T) {
+	db, _ := buildCacheTable(t, 600)
+	db.Estimators = []core.SumEstimator{core.Naive{}, core.Frequency{}, core.Bucket{}}
+	if _, err := db.Query("SELECT SUM(v) FROM t WHERE v >= 100"); err != nil {
+		t.Fatal(err)
+	}
+	stats := db.CacheStats()
+	if stats.FilterHits != 0 || stats.FilterMisses != 0 {
+		t.Errorf("filter cache ran (hits=%d misses=%d) despite a single bucket pass",
+			stats.FilterHits, stats.FilterMisses)
+	}
+}
+
+// TestFilterCacheWarmColdParity: with the sample-filter cache active, a
+// warm result (served by the result cache) and a cold rebuild on a fresh
+// database must match bit for bit — fingerprints, per-source attribution,
+// and every estimator number. This is the end-to-end guarantee that
+// sharing sub-samples never changes what a query returns.
+func TestFilterCacheWarmColdParity(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT SUM(v) FROM t WHERE v >= 100 AND v < 900",
+		"SELECT SUM(v) FROM t GROUP BY grp",
+	} {
+		db, _ := buildCacheTable(t, 1200)
+		db.Estimators = multiBucketEstimators()
+		db.EnableResultCache(16 << 20)
+		cold, err := db.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := db.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm != cold {
+			t.Errorf("%s: warm query was not served from the result cache", sql)
+		}
+		rebuild, _ := buildCacheTable(t, 1200)
+		rebuild.Estimators = multiBucketEstimators()
+		coldAgain, err := rebuild.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, sql, warm, coldAgain)
+	}
+}

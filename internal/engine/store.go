@@ -234,6 +234,25 @@ type colExtent struct {
 	valid   bitsView
 }
 
+// wordAligned reports whether the extent starts on a 64-row bitmap word
+// boundary — the precondition for the word-at-a-time scan kernels, which
+// overlay the extent's defined/valid words directly onto the global
+// selection bitmap's words. The memory backend's single extent (base 0)
+// is always aligned; disk extents are aligned whenever SegmentRows is a
+// multiple of 64 (the default). Unaligned extents take the per-row scalar
+// fallbacks.
+func (e *colExtent) wordAligned() bool { return e.base&63 == 0 }
+
+// tailMask returns the mask selecting the extent's valid bits within its
+// last (possibly partial) bitmap word, ^0 when the extent ends on a word
+// boundary.
+func (e *colExtent) tailMask() uint64 {
+	if t := uint(e.n) & 63; t != 0 {
+		return (uint64(1) << t) - 1
+	}
+	return ^uint64(0)
+}
+
 // str returns the string cell at extent-relative row i. Segment-backed
 // strings are materialized on access (string predicates and group keys
 // are off the hot float path).

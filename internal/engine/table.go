@@ -22,6 +22,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -612,6 +613,26 @@ func (p *samplePart) lineage(r sampleRow) []int32 {
 	return p.srcBuf[r.srcOff : r.srcOff+r.srcLen]
 }
 
+// samplePartPool recycles scan partials across queries: a steady query
+// load reuses the rows and srcBuf arrays at their high-water capacity
+// instead of growing fresh ones per shard per scan.
+var samplePartPool = sync.Pool{New: func() any { return new(samplePart) }}
+
+func borrowSamplePart() *samplePart { return samplePartPool.Get().(*samplePart) }
+
+// releaseSamplePart returns a part's arrays to the pool once its rows have
+// been merged into a sample. Rows are cleared so a pooled part never
+// retains entity-ID strings of a dropped table.
+func releaseSamplePart(p *samplePart) {
+	if p == nil {
+		return
+	}
+	clear(p.rows)
+	p.rows = p.rows[:0]
+	p.srcBuf = p.srcBuf[:0]
+	samplePartPool.Put(p)
+}
+
 // keepRow appends one kept row (and its lineage copy) to the part.
 func (p *samplePart) keepRow(v *storeView, row int, value float64) {
 	srcs := v.lineage[row]
@@ -672,44 +693,93 @@ func (t *Table) selectionFor(sh *shard, v *storeView, si int, key string, prog *
 // aggregation (value 0, NULLs kept). key is the predicate's cache key
 // (filterKey). The shard must be read-locked by the caller.
 func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterProgram) (*samplePart, error) {
-	part := &samplePart{}
+	part := borrowSamplePart()
 	if sh.rows() == 0 {
 		return part, nil
 	}
 	v := sh.store.View()
 	sel, cleanup, err := t.selectionFor(sh, v, si, key, prog)
 	if err != nil {
+		releaseSamplePart(part)
 		return nil, err
 	}
 	defer cleanup()
-	if attrCol < 0 {
-		err = sel.forEach(func(row int) error {
-			part.keepRow(v, row, 0)
-			return nil
-		})
-		if err != nil {
-			return nil, err
+	// Presize from the selection's popcount: rows is an exact upper bound
+	// (NULL attrs may drop some), and the lineage arena is sized by the
+	// shard's observed obs-per-row ratio. A pooled part usually already
+	// carries the capacity from earlier scans.
+	nSel := sel.count()
+	if cap(part.rows) < nSel {
+		part.rows = make([]sampleRow, 0, nSel)
+	}
+	if v.rows > 0 {
+		est := int(int64(sh.store.Obs()) * int64(nSel) / int64(v.rows))
+		est += est/8 + 8
+		if cap(part.srcBuf) < est {
+			part.srcBuf = make([]int32, 0, est)
 		}
+	}
+	if attrCol < 0 {
+		sel.forEachSet(func(row int) {
+			part.keepRow(v, row, 0)
+		})
 		return part, nil
 	}
 	// Extent-wise walk of the aggregate column: the selection ascends, so
 	// kept rows land in global row order exactly as a flat loop would.
 	cv := &v.cols[attrCol]
 	for ei := range cv.exts {
-		ext := &cv.exts[ei]
-		err = sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
-			i := row - ext.base
-			if !ext.defined.get(i) || !ext.valid.get(i) {
-				return nil // NULL attr: skipped, mirroring SQL aggregates
-			}
-			part.keepRow(v, row, ext.floats[i])
-			return nil
+		gatherFloats(sel, &cv.exts[ei], func(row int, value float64) {
+			part.keepRow(v, row, value)
 		})
-		if err != nil {
-			return nil, err
-		}
 	}
 	return part, nil
+}
+
+// gatherFloats walks the selected rows of one float-column extent and
+// calls keep(row, value) for every defined, non-NULL row — the
+// NULL-skipping gather of SQL aggregates. Word-aligned extents inspect 64
+// rows per iteration: the keep word is three ANDs, and an all-ones word (a
+// dense run — the common shape under range predicates) becomes a straight
+// slab copy with no per-row bit tests. Unaligned extents take the per-row
+// fallback.
+func gatherFloats(sel *bitmap, ext *colExtent, keep func(row int, value float64)) {
+	if !ext.wordAligned() {
+		_ = sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+			i := row - ext.base
+			if ext.defined.get(i) && ext.valid.get(i) {
+				keep(row, ext.floats[i])
+			}
+			return nil
+		})
+		return
+	}
+	bw := ext.base >> 6
+	nw := (ext.n + 63) >> 6
+	vals := ext.floats
+	for w := 0; w < nw; w++ {
+		selw := sel.words[bw+w]
+		lo := w << 6
+		if lo+64 > ext.n {
+			selw &= ext.tailMask()
+		}
+		if selw == 0 {
+			continue
+		}
+		keepw := selw & ext.defined.words[w] & ext.valid.words[w]
+		gbase := ext.base + lo
+		if keepw == ^uint64(0) {
+			for i, v := range vals[lo : lo+64] {
+				keep(gbase+i, v)
+			}
+			continue
+		}
+		for keepw != 0 {
+			i := bits.TrailingZeros64(keepw)
+			keep(gbase+i, vals[lo+i])
+			keepw &= keepw - 1
+		}
+	}
 }
 
 // mergeParts folds shard partials into one freqstats.Sample in global
@@ -719,28 +789,16 @@ func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterPr
 // and with it the per-source sizes n_j — is exact for any predicate. names
 // is the table's source-ID -> name snapshot from the scan.
 func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) {
-	type partRow struct {
-		row  sampleRow
-		part *samplePart
-	}
 	totalRows, totalObs := 0, 0
+	active := make([]*samplePart, 0, len(parts))
 	for _, p := range parts {
-		if p == nil {
+		if p == nil || len(p.rows) == 0 {
 			continue
 		}
+		active = append(active, p)
 		totalRows += len(p.rows)
 		totalObs += len(p.srcBuf)
 	}
-	all := make([]partRow, 0, totalRows)
-	for _, p := range parts {
-		if p == nil {
-			continue
-		}
-		for _, r := range p.rows {
-			all = append(all, partRow{row: r, part: p})
-		}
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].row.seq < all[j].row.seq })
 	s := freqstats.NewSampleWithCapacity(totalRows, len(names), totalObs)
 	// trans lazily maps table-global source IDs to sample-local ones, so
 	// the sample only interns sources that actually contributed kept
@@ -750,9 +808,30 @@ func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) 
 		trans[i] = -1
 	}
 	scratch := make([]int32, 0, 16)
-	for _, pr := range all {
+	// Each part's rows already ascend by seq: scans emit rows in row order
+	// and every store appends rows under the shard write lock with a seq
+	// drawn inside that lock. Global insertion order is therefore a k-way
+	// merge over the per-part heads — no materialized union, no
+	// reflect-driven sort. The guard keeps a future backend that reorders
+	// rows correct rather than subtly unordered.
+	for _, p := range active {
+		if !sortedBySeq(p.rows) {
+			sort.Slice(p.rows, func(i, j int) bool { return p.rows[i].seq < p.rows[j].seq })
+		}
+	}
+	heads := make([]int, len(active))
+	for len(active) > 0 {
+		best := 0
+		bestSeq := active[0].rows[heads[0]].seq
+		for pi := 1; pi < len(active); pi++ {
+			if sq := active[pi].rows[heads[pi]].seq; sq < bestSeq {
+				best, bestSeq = pi, sq
+			}
+		}
+		p := active[best]
+		r := p.rows[heads[best]]
 		scratch = scratch[:0]
-		for _, sid := range pr.part.lineage(pr.row) {
+		for _, sid := range p.lineage(r) {
 			local := trans[sid]
 			if local < 0 {
 				local = s.InternSource(names[sid])
@@ -760,8 +839,16 @@ func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) 
 			}
 			scratch = append(scratch, local)
 		}
-		if err := s.AddEntityObservations(pr.row.id, pr.row.value, scratch); err != nil {
+		// Every merged row is a first sighting: entities hash to one
+		// shard and stores keep one row per entity, so the insert-only
+		// fast path applies (it still detects a violated guarantee).
+		if err := s.AddNewEntityObservations(r.id, r.value, scratch); err != nil {
 			return nil, err
+		}
+		if heads[best]++; heads[best] == len(p.rows) {
+			last := len(active) - 1
+			active[best], heads[best] = active[last], heads[last]
+			active = active[:last]
 		}
 	}
 	if selfCheck {
@@ -770,6 +857,17 @@ func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) 
 		}
 	}
 	return s, nil
+}
+
+// sortedBySeq reports whether rows ascend by seq (seqs are globally
+// unique, so non-strict ascent is enough).
+func sortedBySeq(rows []sampleRow) bool {
+	for i := 1; i < len(rows); i++ {
+		if rows[i].seq < rows[i-1].seq {
+			return false
+		}
+	}
+	return true
 }
 
 // selfCheck gates a full freqstats.Sample.CheckInvariants pass — including
@@ -837,6 +935,11 @@ func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.S
 		return nil, epochs, err
 	}
 	s, err := mergeParts(names, parts)
+	// The merge copied every row and lineage cell into the sample; the
+	// pooled partials go back for the next scan.
+	for _, p := range parts {
+		releaseSamplePart(p)
+	}
 	return s, epochs, err
 }
 
@@ -980,29 +1083,14 @@ func (t *Table) scanShardGrouped(sh *shard, si, attrCol, groupCol int, key strin
 		gp.part.keepRow(v, row, value)
 	}
 	if attrCol < 0 {
-		err = sel.forEach(func(row int) error {
+		sel.forEachSet(func(row int) {
 			keep(row, 0)
-			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
 		return groups, nil
 	}
 	cv := &v.cols[attrCol]
 	for ei := range cv.exts {
-		ext := &cv.exts[ei]
-		err = sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
-			i := row - ext.base
-			if !ext.defined.get(i) || !ext.valid.get(i) {
-				return nil
-			}
-			keep(row, ext.floats[i])
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
+		gatherFloats(sel, &cv.exts[ei], keep)
 	}
 	return groups, nil
 }

@@ -1,0 +1,104 @@
+package freqstats
+
+import "sync"
+
+// FilterCache shares Sample.FilterRange results within one query. The
+// paper's estimator suite re-derives the same bucket sub-populations many
+// times — every bucket strategy partitions the same root sample, and a
+// dynamic split tries candidate boundaries that other strategies (or
+// earlier candidates) already materialized — so caching the filtered
+// sub-samples turns O(passes x buckets) full restrictions into one build
+// plus lookups.
+//
+// Keying is by (content fingerprint of the input sample, canonical range
+// predicate). Within one query every sample an estimator filters derives
+// from one root by order-preserving range restrictions, so two samples
+// with equal fingerprints hold the same entities in the same
+// first-observation order with the same attribution — the cached result
+// is bit-identical to what a rebuild would produce (the engine's
+// self-check mode re-verifies this on every merged scan).
+//
+// The cache is attached per query (Sample.SetFilterCache) and must be
+// reset afterwards; entries pin their sub-samples, and cross-query
+// sharing is deliberately out of scope — the engine's epoch-checked
+// result cache owns that layer. All methods are safe for concurrent use,
+// with singleflight semantics: the executor fans estimators out in
+// parallel over the same root sample, so when two passes request the
+// same restriction simultaneously, the first builds it and the second
+// blocks briefly and shares the result instead of duplicating the work.
+type FilterCache struct {
+	mu     sync.Mutex
+	m      map[filterCacheKey]*fcEntry
+	hits   uint64
+	misses uint64
+}
+
+// fcEntry is one singleflight slot: the first requester of a key builds
+// the sub-sample under the once, later requesters wait on it.
+type fcEntry struct {
+	once sync.Once
+	sub  *Sample
+}
+
+// predKey is the canonical form of a FilterRange predicate. Bounds are
+// compared as IEEE bit patterns: exact, hashable, and distinguishing only
+// what the predicate itself distinguishes (modulo the two zeros, which
+// merely costs a duplicate entry, never a wrong hit).
+type predKey struct {
+	lo, hi      uint64
+	inclusiveHi bool
+}
+
+type filterCacheKey struct {
+	fp   uint64
+	pred predKey
+}
+
+// NewFilterCache returns an empty cache.
+func NewFilterCache() *FilterCache {
+	return &FilterCache{m: make(map[filterCacheKey]*fcEntry)}
+}
+
+// do returns the cached sub-sample for (fp, pred), building it with
+// build on first request. Exactly one requester per key runs build —
+// concurrent requesters for the same key block until it finishes — so
+// hit/miss counts are deterministic regardless of estimator scheduling.
+func (c *FilterCache) do(fp uint64, pred predKey, build func() *Sample) *Sample {
+	k := filterCacheKey{fp: fp, pred: pred}
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &fcEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.sub = build() })
+	return e.sub
+}
+
+// Stats returns the hit/miss counters.
+func (c *FilterCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached sub-samples.
+func (c *FilterCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every entry (counters stay), releasing the pinned
+// sub-samples once their last outside reference goes. The engine resets
+// the query's cache after execution so result-cached samples do not keep
+// a query's whole bucket tree alive.
+func (c *FilterCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.m)
+}

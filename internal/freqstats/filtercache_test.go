@@ -1,0 +1,189 @@
+package freqstats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func cacheTestSample(t *testing.T) *Sample {
+	t.Helper()
+	s := NewSample()
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("e%02d", i)
+		for j := 0; j <= i%3; j++ {
+			if err := s.Add(obs(id, float64(i), fmt.Sprintf("s%d", j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// TestFilterRangeMatchesFilter: with no cache attached, FilterRange is
+// exactly Filter with the range predicate, at both edge conventions.
+func TestFilterRangeMatchesFilter(t *testing.T) {
+	s := cacheTestSample(t)
+	for _, inclusive := range []bool{false, true} {
+		sub := s.FilterRange(10, 20, inclusive)
+		want := s.Filter(func(_ string, v float64) bool {
+			if inclusive {
+				return v >= 10 && v <= 20
+			}
+			return v >= 10 && v < 20
+		})
+		if sub.Fingerprint() != want.Fingerprint() {
+			t.Errorf("inclusive=%v: FilterRange fingerprint differs from Filter", inclusive)
+		}
+		wantC := 10
+		if inclusive {
+			wantC = 11
+		}
+		if sub.C() != wantC {
+			t.Errorf("inclusive=%v: c=%d, want %d", inclusive, sub.C(), wantC)
+		}
+	}
+}
+
+// TestFilterCacheSharingAndReset: a repeated restriction returns the
+// identical sub-sample, counters track hits and misses, sub-samples
+// inherit the cache for nested restrictions, and Reset drops entries
+// while counters survive.
+func TestFilterCacheSharingAndReset(t *testing.T) {
+	s := cacheTestSample(t)
+	c := NewFilterCache()
+	s.SetFilterCache(c)
+	defer s.SetFilterCache(nil)
+
+	a := s.FilterRange(10, 30, false)
+	b := s.FilterRange(10, 30, false)
+	if a != b {
+		t.Error("repeated FilterRange did not return the cached sub-sample")
+	}
+	if a.FilterCacheHandle() != c {
+		t.Error("sub-sample did not inherit the cache")
+	}
+	// A nested restriction of the cached sub shares too.
+	n1 := a.FilterRange(15, 20, false)
+	n2 := b.FilterRange(15, 20, false)
+	if n1 != n2 {
+		t.Error("nested FilterRange did not share")
+	}
+	// Different predicate or edge convention is a different key.
+	if s.FilterRange(10, 30, true) == a {
+		t.Error("inclusive and exclusive ranges shared one entry")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 3 {
+		t.Errorf("hits=%d misses=%d, want 2/3", hits, misses)
+	}
+	if c.Len() != 3 {
+		t.Errorf("len=%d, want 3", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("len after Reset = %d, want 0", c.Len())
+	}
+	if h, m := c.Stats(); h != hits || m != misses {
+		t.Error("Reset cleared the counters")
+	}
+	// After Reset the entry is rebuilt, not served stale.
+	if s.FilterRange(10, 30, false) == a {
+		t.Error("Reset did not drop the cached sub-sample")
+	}
+}
+
+// TestFilterCacheSingleflight: concurrent requests for one key must
+// produce exactly one build (one miss), with every caller receiving the
+// same sub-sample.
+func TestFilterCacheSingleflight(t *testing.T) {
+	s := cacheTestSample(t)
+	c := NewFilterCache()
+	s.SetFilterCache(c)
+	defer s.SetFilterCache(nil)
+	s.Fingerprint() // memoize outside the race
+
+	const callers = 16
+	subs := make([]*Sample, callers)
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subs[i] = s.FilterRange(5, 45, false)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if subs[i] != subs[0] {
+			t.Fatal("concurrent callers got different sub-samples")
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+}
+
+// TestFilterCacheKeyedByFingerprint: mutating the parent changes its
+// fingerprint, so the stale entry can never be served for the new
+// content.
+func TestFilterCacheKeyedByFingerprint(t *testing.T) {
+	s := cacheTestSample(t)
+	c := NewFilterCache()
+	s.SetFilterCache(c)
+	defer s.SetFilterCache(nil)
+
+	before := s.FilterRange(10, 30, false)
+	if err := s.Add(obs("fresh", 15, "s0")); err != nil {
+		t.Fatal(err)
+	}
+	after := s.FilterRange(10, 30, false)
+	if after == before {
+		t.Fatal("mutated sample was served the stale sub-sample")
+	}
+	if after.C() != before.C()+1 {
+		t.Errorf("after mutation c=%d, want %d", after.C(), before.C()+1)
+	}
+}
+
+// TestAddNewEntityObservationsParity: the insert-only bulk path must
+// produce a sample bitwise-equivalent to the general path for fresh
+// entities, and must detect a violated uniqueness guarantee.
+func TestAddNewEntityObservationsParity(t *testing.T) {
+	general, fast := NewSample(), NewSample()
+	for _, s := range []*Sample{general, fast} {
+		s.InternSource("s0")
+		s.InternSource("s1")
+	}
+	rows := []struct {
+		id   string
+		v    float64
+		srcs []int32
+	}{
+		{"a", 1, []int32{0}},
+		{"b", 2, []int32{0, 1}},
+		{"c", 3, []int32{1, 1, 0}},
+	}
+	for _, r := range rows {
+		if err := general.AddEntityObservations(r.id, r.v, r.srcs); err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.AddNewEntityObservations(r.id, r.v, r.srcs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fast.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if general.Fingerprint() != fast.Fingerprint() {
+		t.Error("fast-path sample fingerprint differs from the general path")
+	}
+	if general.N() != fast.N() || general.C() != fast.C() || general.F1() != fast.F1() {
+		t.Errorf("stats differ: n=%d/%d c=%d/%d f1=%d/%d",
+			general.N(), fast.N(), general.C(), fast.C(), general.F1(), fast.F1())
+	}
+	if err := fast.AddNewEntityObservations("a", 1, []int32{0}); err == nil {
+		t.Error("duplicate entity on the insert-only path was not detected")
+	}
+}

@@ -1,9 +1,6 @@
 package freqstats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Cheap content fingerprints for samples, used by the engine's
 // whole-result cache: a cache entry records the fingerprint of the sample
@@ -42,24 +39,46 @@ func fnvUint64(h, x uint64) uint64 {
 // counters. Entity hashes are combined commutatively, so the fingerprint
 // is independent of observation order; it changes whenever an entity, a
 // value, a count or any attribution cell changes. Cost is O(c + total
-// attribution cells) — cheap next to any estimator pass.
+// attribution cells) on the first call; the result is memoized until the
+// next mutation (FilterCache probes fingerprint the same sample once per
+// bucket, so the memo is what keeps cache lookups O(1) amortized).
 func (s *Sample) Fingerprint() uint64 {
+	if s.fpValid.Load() {
+		return s.fpMemo.Load()
+	}
+	fp := s.fingerprint()
+	// Value before flag: a reader that sees fpValid also sees fpMemo.
+	s.fpMemo.Store(fp)
+	s.fpValid.Store(true)
+	return fp
+}
+
+// fingerprint computes the hash; see Fingerprint.
+func (s *Sample) fingerprint() uint64 {
+	// Source-name hashes are precomputed once per pass, so the per-cell
+	// work below is pure integer hashing regardless of name lengths.
+	nameHash := make([]uint64, len(s.srcNames))
+	for i, name := range s.srcNames {
+		nameHash[i] = fnvString(fnvOffset64, name)
+	}
 	var sum, xor uint64
 	for id, es := range s.ents {
 		h := fnvString(fnvOffset64, id)
 		h = fnvUint64(h, uint64(es.count))
 		h = fnvUint64(h, math.Float64bits(es.value))
-		// Attribution cells are hashed in sorted source-name order so the
-		// per-entity hash does not depend on sample-local ID assignment.
-		cells := make([]srcCount, len(es.srcs))
-		copy(cells, es.srcs)
-		sort.Slice(cells, func(i, j int) bool {
-			return s.srcNames[cells[i].src] < s.srcNames[cells[j].src]
-		})
-		for _, sc := range cells {
-			h = fnvString(h, s.srcNames[sc.src])
-			h = fnvUint64(h, uint64(sc.cnt))
+		// Attribution cells hash independently (by source NAME, so the hash
+		// does not depend on sample-local ID assignment) and combine
+		// commutatively — cell order is construction-dependent and must not
+		// show through. An entity has at most one cell per source, so the
+		// commutative fold loses no structure.
+		var cellSum, cellXor uint64
+		for _, sc := range es.srcs {
+			ch := fnvUint64(nameHash[sc.src], uint64(sc.cnt))
+			cellSum += ch
+			cellXor ^= ch
 		}
+		h = fnvUint64(h, cellSum)
+		h = fnvUint64(h, cellXor)
 		sum += h
 		xor ^= h
 	}

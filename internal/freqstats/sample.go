@@ -28,7 +28,9 @@ package freqstats
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Observation is a single data item delivered by a source: an entity
@@ -80,6 +82,19 @@ type Sample struct {
 	// later append to an entity's vector reallocates instead of clobbering
 	// its arena neighbor.
 	srcArena []srcCount
+
+	// fpMemo/fpValid memoize Fingerprint: estimators fingerprint the same
+	// sample repeatedly (every FilterRange cache probe), and the content
+	// hash is deterministic, so a stale-free memo is just an atomic pair —
+	// value first, flag second — invalidated by every mutation
+	// (bumpEntity, the chokepoint of Add/AddEntityObservations/Merge).
+	// Concurrent recomputation is benign: all writers store the same value.
+	fpMemo  atomic.Uint64
+	fpValid atomic.Bool
+
+	// fcache, when set, shares FilterRange results across estimator passes
+	// of one query; see FilterCache.
+	fcache *FilterCache
 }
 
 // NewSample returns an empty sample.
@@ -168,6 +183,7 @@ func addToVec(vec []srcCount, src int32, cnt int32) []srcCount {
 // and the f-statistics, and returns the entity's previous stat (for
 // attribution and conflict handling). It does not touch attribution.
 func (s *Sample) bumpEntity(id string, value float64, count int) (prev entityStat, conflict bool) {
+	s.fpValid.Store(false)
 	prev = s.ents[id]
 	if prev.count == 0 {
 		s.order = append(s.order, id)
@@ -247,6 +263,45 @@ func (s *Sample) AddEntityObservations(id string, value float64, srcs []int32) e
 		return fmt.Errorf("freqstats: entity %q observed with conflicting values %g and %g (input not cleaned)",
 			id, prev.value, value)
 	}
+	return nil
+}
+
+// AddNewEntityObservations is AddEntityObservations for an entity the
+// caller guarantees is not already in the sample — the engine's shard
+// merge qualifies: entities are hash-partitioned across shards with one
+// row each, so every merged row is a first sighting. The guarantee buys
+// one map assignment instead of a read-modify-write (half the string
+// hashing on the scan-merge hot path) and skips the frequency-histogram
+// decrement. A violated guarantee is detected (the map must grow) and
+// reported as an error; the sample is not usable after that — callers
+// treat it as a scan invariant failure, not a recoverable conflict.
+func (s *Sample) AddNewEntityObservations(id string, value float64, srcs []int32) error {
+	s.ensureMaps()
+	if id == "" {
+		return fmt.Errorf("freqstats: observation with empty entity ID")
+	}
+	if len(srcs) == 0 {
+		return fmt.Errorf("freqstats: entity %q added with no source observations", id)
+	}
+	for _, src := range srcs {
+		if src < 0 || int(src) >= len(s.srcNames) {
+			return fmt.Errorf("freqstats: entity %q attributed to unknown source ID %d", id, src)
+		}
+	}
+	s.fpValid.Store(false)
+	es := entityStat{value: value, count: len(srcs), srcs: s.allocVec(len(srcs))}
+	for _, src := range srcs {
+		es.srcs = addToVec(es.srcs, src, 1)
+		s.srcTotals[src]++
+	}
+	before := len(s.ents)
+	s.ents[id] = es
+	if len(s.ents) == before {
+		return fmt.Errorf("freqstats: AddNewEntityObservations called twice for entity %q", id)
+	}
+	s.order = append(s.order, id)
+	s.n += len(srcs)
+	s.fstat[len(srcs)]++
 	return nil
 }
 
@@ -487,6 +542,48 @@ func (s *Sample) Filter(keep func(id string, value float64) bool) *Sample {
 		out.fstat[es.count]++
 	}
 	return out
+}
+
+// SetFilterCache attaches (or, with nil, detaches) a per-query filter
+// cache. FilterRange results computed while the cache is attached are
+// shared by fingerprint, and sub-samples it returns inherit the cache so
+// nested restrictions (dynamic bucket splits) share too. Samples returned
+// from a cache hit are shared between estimator passes and must be
+// treated as read-only — which estimators do by construction.
+func (s *Sample) SetFilterCache(c *FilterCache) { s.fcache = c }
+
+// FilterCacheHandle returns the attached filter cache (nil when none).
+func (s *Sample) FilterCacheHandle() *FilterCache { return s.fcache }
+
+// FilterRange returns the sample restricted to entities whose value v
+// satisfies lo <= v < hi (lo <= v <= hi when inclusiveHi) — the bucket
+// sub-range restriction of the paper's bucket estimators. Semantically it
+// is exactly Filter with the range predicate; when a FilterCache is
+// attached, the result is shared across passes keyed by the sample's
+// content fingerprint and the canonical predicate, so the second
+// estimator asking for the same sub-range of the same population gets
+// the already-built sub-sample back instead of rebuilding it.
+func (s *Sample) FilterRange(lo, hi float64, inclusiveHi bool) *Sample {
+	keep := func(_ string, v float64) bool {
+		if inclusiveHi {
+			return v >= lo && v <= hi
+		}
+		return v >= lo && v < hi
+	}
+	c := s.fcache
+	if c == nil {
+		return s.Filter(keep)
+	}
+	key := predKey{
+		lo:          math.Float64bits(lo),
+		hi:          math.Float64bits(hi),
+		inclusiveHi: inclusiveHi,
+	}
+	return c.do(s.Fingerprint(), key, func() *Sample {
+		sub := s.Filter(keep)
+		sub.fcache = c
+		return sub
+	})
 }
 
 // Merge folds another sample into this one, as if other's observations had
