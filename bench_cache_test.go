@@ -28,7 +28,7 @@ const repeatedQuerySQL = "SELECT SUM(v) FROM metrics WHERE v >= 250 AND v < 750"
 // coldTable disables every scan-cache layer on the benchmark table.
 func coldTable(b *testing.B, tbl *engine.Table) {
 	b.Helper()
-	tbl.SetScanCacheLimits(0, 0)
+	tbl.SetScanCacheLimits(0, 0, 0)
 }
 
 // BenchmarkRepeatedQueryCold is the no-cache baseline: the full

@@ -63,7 +63,7 @@ func buildDiskBenchTable(b *testing.B) (*engine.DB, *engine.Table) {
 // segments.
 func BenchmarkDiskFilteredSumScan(b *testing.B) {
 	_, tbl := buildDiskBenchTable(b)
-	tbl.SetScanCacheLimits(128, 0) // keep programs, drop bitmaps: cold scans
+	tbl.SetScanCacheLimits(128, 0, 0) // keep programs, drop bitmaps and partials: cold scans
 	pred, err := sqlparse.ParsePredicate("v >= 250 AND v < 750")
 	if err != nil {
 		b.Fatal(err)
@@ -85,7 +85,7 @@ func BenchmarkDiskFilteredSumScan(b *testing.B) {
 // materialize from the mmap'd blob).
 func BenchmarkDiskGroupByScan(b *testing.B) {
 	_, tbl := buildDiskBenchTable(b)
-	tbl.SetScanCacheLimits(128, 0)
+	tbl.SetScanCacheLimits(128, 0, 0)
 	pred, err := sqlparse.ParsePredicate("v >= 100")
 	if err != nil {
 		b.Fatal(err)

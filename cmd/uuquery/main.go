@@ -9,6 +9,7 @@
 //	uuquery -dataset us-tech-employment -n 500 "SELECT SUM(employees) FROM companies"
 //	uuquery -dataset us-gdp -diagnose "SELECT SUM(gdp) FROM states"
 //	uuquery -csv observations.csv "SELECT SUM(value) FROM data"
+//	uuquery -stream -watch -dataset us-gdp "SELECT SUM(gdp) FROM states"
 //	uuquery -csv observations.csv -save db.json
 //	uuquery -load db.json "SELECT COUNT(*) FROM data"
 //	uuquery -list
@@ -83,6 +84,7 @@ func run() error {
 	repeat := flag.Int("repeat", 1, "run the query N times (repeats exercise the caches)")
 	cacheStats := flag.Bool("cachestats", false, "print cache hit/miss/bytes statistics after querying")
 	stream := flag.Bool("stream", false, "ingest through the batched asynchronous pipeline (staging + appliers) instead of per-row inserts")
+	watch := flag.Bool("watch", false, "with -stream: subscribe to the query and print each live re-estimate as ingest batches land")
 	batch := flag.Int("batch", 256, "with -stream: per-shard batch size (drain threshold)")
 	flushEvery := flag.Int("flush-every", 0, "with -stream: run a read-your-writes Flush barrier every N observations (0 = only at the end)")
 	backendName := flag.String("backend", "mem", "shard storage backend: mem (in-memory columnar) or disk (mmap'd page-formatted segments)")
@@ -142,7 +144,14 @@ func run() error {
 			if err != nil {
 				return err
 			}
+			stopWatch, err := startWatch(&db, watchSQL("SELECT SUM(value) FROM data"), *watch)
+			if err != nil {
+				return err
+			}
 			if err := streamObservations(t, obs, "value", *batch, *flushEvery); err != nil {
+				return err
+			}
+			if err := stopWatch(); err != nil {
 				return err
 			}
 		} else {
@@ -203,7 +212,15 @@ func run() error {
 			return err
 		}
 		if *stream {
+			defaultSQL := fmt.Sprintf("SELECT SUM(%s) FROM %s", spec.attr, spec.table)
+			stopWatch, err := startWatch(&db, watchSQL(defaultSQL), *watch)
+			if err != nil {
+				return err
+			}
 			if err := streamObservations(t, d.Stream.Observations[:limit], spec.attr, *batch, *flushEvery); err != nil {
+				return err
+			}
+			if err := stopWatch(); err != nil {
 				return err
 			}
 		} else {
@@ -339,6 +356,47 @@ func streamObservations(t *engine.Table, obs []freqstats.Observation, attr strin
 	return nil
 }
 
+// watchSQL picks the query a -watch subscription follows: the
+// command-line query when one was given, the branch's default otherwise.
+func watchSQL(defaultSQL string) string {
+	if flag.NArg() > 0 {
+		return flag.Arg(0)
+	}
+	return defaultSQL
+}
+
+// startWatch subscribes to sql and prints each live emission while the
+// stream loads (the incremental pipeline re-estimates after every applied
+// batch). The returned stop function closes the subscription and waits
+// for the printer to drain; it is a no-op when -watch is off.
+func startWatch(db *engine.DB, sql string, enabled bool) (func() error, error) {
+	if !enabled {
+		return func() error { return nil }, nil
+	}
+	sub, err := db.Subscribe(sql)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("watching:  %s\n", sub.Query())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for res := range sub.Updates() {
+			line := fmt.Sprintf("watch:     observed=%.2f", res.Observed)
+			if best, name, ok := res.Best(); ok {
+				line += fmt.Sprintf("  %s-corrected=%.2f", name, best.Estimated)
+			}
+			fmt.Println(line)
+		}
+	}()
+	return func() error {
+		err := sub.Close()
+		<-done
+		fmt.Printf("watched:   %d live re-estimates emitted\n", sub.Emitted())
+		return err
+	}, nil
+}
+
 // printCacheStats reports which storage backend served the queries plus
 // the engine's cache counters (compiled filter programs, per-shard
 // selection bitmaps, whole-query results) when requested via -cachestats.
@@ -352,6 +410,8 @@ func printCacheStats(db *engine.DB, tbl *engine.Table, enabled bool) {
 		s.ProgramHits, s.ProgramMisses, s.BitmapHits, s.BitmapMisses, s.BitmapBytes, s.BitmapEvictions)
 	fmt.Printf("           results %d hits / %d misses (%d bytes, %d evictions)\n",
 		s.ResultHits, s.ResultMisses, s.ResultBytes, s.ResultEvictions)
+	fmt.Printf("           partials %d hits / %d misses (%d bytes, %d evictions; incremental per-shard requery)\n",
+		s.PartialHits, s.PartialMisses, s.PartialBytes, s.PartialEvictions)
 	fmt.Printf("           sample filters %d hits / %d misses (per-query bucket sub-range sharing)\n",
 		s.FilterHits, s.FilterMisses)
 }

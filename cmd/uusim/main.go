@@ -47,6 +47,7 @@ func run() error {
 	ingest := flag.Bool("ingest", false, "stream the scenario into the engine's batched ingestion pipeline instead of printing CSV")
 	batch := flag.Int("batch", 256, "with -ingest: per-shard batch size (drain threshold)")
 	flushEvery := flag.Int("flush-every", 0, "with -ingest: run a Flush barrier every N observations (0 = only at the end)")
+	watch := flag.Bool("watch", false, "with -ingest: subscribe to the SUM query and print each live re-estimate as batches land")
 	flag.Parse()
 
 	rng := randx.New(*seed)
@@ -76,7 +77,7 @@ func run() error {
 	}
 
 	if *ingest {
-		return ingestScenario(stream, truth, *batch, *flushEvery)
+		return ingestScenario(stream, truth, *batch, *flushEvery, *watch)
 	}
 
 	if err := csvio.WriteObservations(os.Stdout, stream.Observations, csvio.Options{}); err != nil {
@@ -91,7 +92,7 @@ func run() error {
 // batched asynchronous ingestion (staging + background appliers + Flush
 // barriers) and answers the open-world SUM at the end — an end-to-end
 // exercise of the streaming pipeline on a controlled scenario.
-func ingestScenario(stream *sim.Stream, truth *sim.GroundTruth, batch, flushEvery int) error {
+func ingestScenario(stream *sim.Stream, truth *sim.GroundTruth, batch, flushEvery int, watch bool) error {
 	db := engine.DB{Estimators: engine.DefaultEstimators()}
 	tbl, err := db.CreateTable("data", engine.Schema{
 		{Name: "name", Type: engine.TypeString},
@@ -99,6 +100,33 @@ func ingestScenario(stream *sim.Stream, truth *sim.GroundTruth, batch, flushEver
 	})
 	if err != nil {
 		return err
+	}
+	// -watch: a live subscription re-estimates the SUM after every applied
+	// batch, so the open-world correction is visible converging toward the
+	// truth as sources land.
+	stopWatch := func() error { return nil }
+	if watch {
+		sub, err := db.Subscribe("SELECT SUM(value) FROM data")
+		if err != nil {
+			return err
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for res := range sub.Updates() {
+				line := fmt.Sprintf("watch:     observed=%.2f", res.Observed)
+				if best, name, ok := res.Best(); ok {
+					line += fmt.Sprintf("  %s-corrected=%.2f", name, best.Estimated)
+				}
+				fmt.Println(line)
+			}
+		}()
+		stopWatch = func() error {
+			err := sub.Close()
+			<-done
+			fmt.Printf("watched:   %d live re-estimates emitted\n", sub.Emitted())
+			return err
+		}
 	}
 	start := time.Now()
 	conflicts, err := engine.StreamObservations(tbl, stream.Observations, "value", "name", batch, flushEvery)
@@ -109,6 +137,9 @@ func ingestScenario(stream *sim.Stream, truth *sim.GroundTruth, batch, flushEver
 		fmt.Fprintf(os.Stderr, "uusim: %d value conflicts in the stream (first value kept)\n", conflicts)
 	}
 	elapsed := time.Since(start)
+	if err := stopWatch(); err != nil {
+		return err
+	}
 	st := tbl.IngestStats()
 	fmt.Printf("ingested:  %d observations in %v (%.0f rows/s; batch=%d, %d batches, %d flush barriers)\n",
 		stream.Len(), elapsed.Round(time.Microsecond), float64(stream.Len())/elapsed.Seconds(), batch, st.Batches, st.Flushes)

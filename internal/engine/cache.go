@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/freqstats"
 	"repro/internal/sqlparse"
 )
 
@@ -30,20 +31,33 @@ import (
 //     within a query (Sample + GroupedSamples on the same WHERE) and
 //     across repeated queries, and is dropped the moment its epoch is
 //     stale. Cached bitmaps are immutable once published.
-//  3. Whole query results (executor level, opt-in — see resultCache in
+//  3. Per-shard sample partials. One step past the bitmap layer: where a
+//     cached bitmap saves re-evaluating the predicate over a clean shard,
+//     a cached partial (freqstats.Partial, frozen at publication) saves
+//     the whole scan — gather, lineage copy and all — leaving only the
+//     k-way merge and the estimators. Keyed by (predicate, aggregate
+//     attribute, shard) under the same exact-epoch serve rule as bitmaps:
+//     valid while `built-at epoch == current epoch`, dropped on probe the
+//     moment its epoch is stale. This is what makes repeated queries
+//     incremental: after an ingest batch dirties one shard, the next run
+//     rescans that shard alone and re-merges it with 15 cached partials.
+//     Cached partials are immutable (frozen) and shared read-only across
+//     concurrent merges.
+//  4. Whole query results (executor level, opt-in — see resultCache in
 //     executor.go wiring). Keyed by (table identity, canonical SQL,
 //     estimator configuration) plus the full vector of shard epochs
 //     captured during the scan, so a hit is only possible when not a
 //     single observation changed since the cached run.
 //
 // All layers are safe for concurrent use and bounded: programs by entry
-// count, bitmaps and results by an approximate byte budget with LRU
-// eviction.
+// count, bitmaps, partials and results by an approximate byte budget with
+// LRU eviction.
 
 // Default cache bounds for new tables.
 const (
 	defaultProgramCacheEntries = 128
-	defaultBitmapCacheBytes    = 8 << 20 // 8 MiB of selection bitmaps per table
+	defaultBitmapCacheBytes    = 8 << 20  // 8 MiB of selection bitmaps per table
+	defaultPartialCacheBytes   = 16 << 20 // 16 MiB of sample partials per table
 )
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
@@ -54,6 +68,13 @@ type CacheStats struct {
 	BitmapHits, BitmapMisses   uint64
 	BitmapEvictions            uint64
 	BitmapBytes                int
+	// Partial* count the per-shard sample-partial layer: a hit is one
+	// shard whose scan was skipped entirely because its cached partial was
+	// built at the shard's current epoch. A query over a table with one
+	// dirty shard therefore accounts numShards-1 hits and 1 miss.
+	PartialHits, PartialMisses uint64
+	PartialEvictions           uint64
+	PartialBytes               int
 	ResultHits, ResultMisses   uint64
 	ResultEvictions            uint64
 	ResultBytes                int
@@ -72,6 +93,10 @@ func (s *CacheStats) add(other CacheStats) {
 	s.BitmapMisses += other.BitmapMisses
 	s.BitmapEvictions += other.BitmapEvictions
 	s.BitmapBytes += other.BitmapBytes
+	s.PartialHits += other.PartialHits
+	s.PartialMisses += other.PartialMisses
+	s.PartialEvictions += other.PartialEvictions
+	s.PartialBytes += other.PartialBytes
 	s.ResultHits += other.ResultHits
 	s.ResultMisses += other.ResultMisses
 	s.ResultEvictions += other.ResultEvictions
@@ -97,6 +122,16 @@ type bitmapKey struct {
 	shard int
 }
 
+// partialKey addresses one shard's sample partial for one (predicate,
+// aggregate attribute) pair. The attribute is part of the key because the
+// partial embeds the gathered values — the same predicate aggregated over
+// a different column is a different partial ("" is the COUNT(*) form).
+type partialKey struct {
+	expr  string
+	attr  string
+	shard int
+}
+
 type progEntry struct {
 	key  string
 	prog *filterProgram
@@ -109,9 +144,16 @@ type bitmapEntry struct {
 	bytes int
 }
 
-// scanCache is a table's layer-1 + layer-2 cache. One mutex guards both
-// LRU structures; hit/miss counters are atomics so CacheStats reads do
-// not need the lock.
+type partialEntry struct {
+	key   partialKey
+	epoch uint64
+	part  *freqstats.Partial // frozen before store, immutable
+	bytes int
+}
+
+// scanCache is a table's layer-1..3 cache (programs, bitmaps, partials).
+// One mutex guards all LRU structures; hit/miss counters are atomics so
+// CacheStats reads do not need the lock.
 type scanCache struct {
 	mu            sync.Mutex
 	schemaVersion uint64
@@ -125,27 +167,37 @@ type scanCache struct {
 	bmBytes  int
 	maxBytes int
 
+	partials     map[partialKey]*list.Element // of *partialEntry
+	pLRU         list.List
+	pBytes       int
+	maxPartBytes int
+
 	progHits, progMisses atomic.Uint64
 	bmHits, bmMisses     atomic.Uint64
 	bmEvictions          atomic.Uint64
+	pHits, pMisses       atomic.Uint64
+	pEvictions           atomic.Uint64
 }
 
-func newScanCache(maxProgs, maxBytes int) *scanCache {
+func newScanCache(maxProgs, maxBytes, maxPartBytes int) *scanCache {
 	return &scanCache{
-		progs:    make(map[string]*list.Element),
-		bitmaps:  make(map[bitmapKey]*list.Element),
-		maxProgs: maxProgs,
-		maxBytes: maxBytes,
+		progs:        make(map[string]*list.Element),
+		bitmaps:      make(map[bitmapKey]*list.Element),
+		partials:     make(map[partialKey]*list.Element),
+		maxProgs:     maxProgs,
+		maxBytes:     maxBytes,
+		maxPartBytes: maxPartBytes,
 	}
 }
 
 // setLimits reconfigures the bounds; zero disables (and clears) the
 // respective layer.
-func (c *scanCache) setLimits(maxProgs, maxBytes int) {
+func (c *scanCache) setLimits(maxProgs, maxBytes, maxPartBytes int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.maxProgs = maxProgs
 	c.maxBytes = maxBytes
+	c.maxPartBytes = maxPartBytes
 	c.evictLocked()
 }
 
@@ -161,6 +213,9 @@ func (c *scanCache) bumpSchemaVersion() {
 	c.bitmaps = make(map[bitmapKey]*list.Element)
 	c.bmLRU.Init()
 	c.bmBytes = 0
+	c.partials = make(map[partialKey]*list.Element)
+	c.pLRU.Init()
+	c.pBytes = 0
 }
 
 // lookupProgram returns the cached compiled program for a predicate key.
@@ -261,13 +316,76 @@ func (c *scanCache) removeBitmapLocked(e *list.Element) {
 	c.bmBytes -= ent.bytes
 }
 
-// evictLocked drops LRU entries until both layers fit their bounds.
-// In-flight scans holding a dropped bitmap keep their reference; the
-// entry simply stops being findable.
+// lookupPartial returns the cached sample partial for a key if it was
+// built at exactly the given epoch. A stale entry is removed on the spot
+// (its epoch can never match again — epochs only grow). The returned
+// partial is frozen and shared; callers merge from it read-only and must
+// not release it to the scan pool (releaseSamplePart skips frozen
+// partials).
+func (c *scanCache) lookupPartial(k partialKey, epoch uint64) (*freqstats.Partial, bool) {
+	c.mu.Lock()
+	e, ok := c.partials[k]
+	if ok {
+		ent := e.Value.(*partialEntry)
+		if ent.epoch == epoch {
+			c.pLRU.MoveToFront(e)
+			c.mu.Unlock()
+			c.pHits.Add(1)
+			return ent.part, true
+		}
+		c.removePartialLocked(e)
+	}
+	c.mu.Unlock()
+	c.pMisses.Add(1)
+	return nil, false
+}
+
+// acceptsPartial reports whether the cache would keep a partial of the
+// given footprint. Scans consult it before freezing a fresh partial: when
+// the answer is no (layer disabled, or the partial alone over budget) the
+// partial stays mutable and poolable.
+func (c *scanCache) acceptsPartial(nbytes int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxPartBytes > 0 && nbytes <= c.maxPartBytes
+}
+
+// storePartial publishes a frozen sample partial. The partial must be
+// frozen (immutable) before the call; from here on it may be shared by
+// any number of concurrent merges.
+func (c *scanCache) storePartial(k partialKey, epoch uint64, p *freqstats.Partial) {
+	nbytes := p.FootprintBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxPartBytes <= 0 || nbytes > c.maxPartBytes {
+		return
+	}
+	if e, ok := c.partials[k]; ok {
+		c.removePartialLocked(e)
+	}
+	c.partials[k] = c.pLRU.PushFront(&partialEntry{key: k, epoch: epoch, part: p, bytes: nbytes})
+	c.pBytes += nbytes
+	c.evictLocked()
+}
+
+func (c *scanCache) removePartialLocked(e *list.Element) {
+	ent := e.Value.(*partialEntry)
+	c.pLRU.Remove(e)
+	delete(c.partials, ent.key)
+	c.pBytes -= ent.bytes
+}
+
+// evictLocked drops LRU entries until every layer fits its bounds.
+// In-flight scans holding a dropped bitmap or partial keep their
+// reference; the entry simply stops being findable.
 func (c *scanCache) evictLocked() {
 	for c.bmBytes > c.maxBytes && c.bmLRU.Len() > 0 {
 		c.removeBitmapLocked(c.bmLRU.Back())
 		c.bmEvictions.Add(1)
+	}
+	for c.pBytes > c.maxPartBytes && c.pLRU.Len() > 0 {
+		c.removePartialLocked(c.pLRU.Back())
+		c.pEvictions.Add(1)
 	}
 	for c.progLRU.Len() > 0 && c.progLRU.Len() > c.maxProgs {
 		oldest := c.progLRU.Back()
@@ -279,15 +397,20 @@ func (c *scanCache) evictLocked() {
 // stats snapshots the scan-layer counters.
 func (c *scanCache) stats() CacheStats {
 	c.mu.Lock()
-	bytes := c.bmBytes
+	bmBytes := c.bmBytes
+	pBytes := c.pBytes
 	c.mu.Unlock()
 	return CacheStats{
-		ProgramHits:     c.progHits.Load(),
-		ProgramMisses:   c.progMisses.Load(),
-		BitmapHits:      c.bmHits.Load(),
-		BitmapMisses:    c.bmMisses.Load(),
-		BitmapEvictions: c.bmEvictions.Load(),
-		BitmapBytes:     bytes,
+		ProgramHits:      c.progHits.Load(),
+		ProgramMisses:    c.progMisses.Load(),
+		BitmapHits:       c.bmHits.Load(),
+		BitmapMisses:     c.bmMisses.Load(),
+		BitmapEvictions:  c.bmEvictions.Load(),
+		BitmapBytes:      bmBytes,
+		PartialHits:      c.pHits.Load(),
+		PartialMisses:    c.pMisses.Load(),
+		PartialEvictions: c.pEvictions.Load(),
+		PartialBytes:     pBytes,
 	}
 }
 

@@ -80,6 +80,11 @@ func TestFilterProgramCacheReuse(t *testing.T) {
 
 func TestSelectionBitmapCacheEpochInvalidation(t *testing.T) {
 	_, tbl := buildCacheTable(t, 2000)
+	// Keep the bitmap layer but disable the partial layer: with partials
+	// on, a warm repeat serves whole shards from cached partials and never
+	// probes the bitmaps, which is exactly what the per-layer counters
+	// below must not be distorted by.
+	tbl.SetScanCacheLimits(defaultProgramCacheEntries, defaultBitmapCacheBytes, 0)
 	pred := mustPredicate(t, "v >= 500 AND v < 1500")
 
 	cold, err := tbl.Sample("v", pred)
@@ -147,7 +152,7 @@ func TestScanCacheEvictionBounds(t *testing.T) {
 	// Budget fits roughly two predicates' worth of shard bitmaps
 	// (16 shards x (len(words)*8 + 64) each).
 	const budget = 4096
-	tbl.SetScanCacheLimits(4, budget)
+	tbl.SetScanCacheLimits(4, budget, 0)
 
 	for i := 0; i < 32; i++ {
 		if _, err := tbl.Sample("v", mustPredicate(t, fmt.Sprintf("v >= %d", i))); err != nil {
@@ -163,7 +168,7 @@ func TestScanCacheEvictionBounds(t *testing.T) {
 	}
 
 	// Disabling clears everything.
-	tbl.SetScanCacheLimits(0, 0)
+	tbl.SetScanCacheLimits(0, 0, 0)
 	if got := tbl.CacheStats().BitmapBytes; got != 0 {
 		t.Fatalf("disabled cache still holds %d bytes", got)
 	}
@@ -182,7 +187,7 @@ func TestScanCacheEvictionBounds(t *testing.T) {
 func TestCachedVsColdParity(t *testing.T) {
 	warmDB, _ := buildCacheTable(t, 1500)
 	coldDB, coldTbl := buildCacheTable(t, 1500)
-	coldTbl.SetScanCacheLimits(0, 0) // cold engine: caching off entirely
+	coldTbl.SetScanCacheLimits(0, 0, 0) // cold engine: caching off entirely
 
 	queries := []string{
 		"SELECT SUM(v) FROM t",
@@ -477,7 +482,7 @@ func TestConcurrentInsertNeverServesStaleEpoch(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, coldTbl := buildCacheTable(t, 400)
-	coldTbl.SetScanCacheLimits(0, 0)
+	coldTbl.SetScanCacheLimits(0, 0, 0)
 	for w := 0; w < writers; w++ {
 		for i := 0; i < perWriter; i++ {
 			id := fmt.Sprintf("extra-%d-%d", w, i)

@@ -337,7 +337,14 @@ func (db *DB) Query(sql string) (*Result, error) {
 	return db.Execute(q)
 }
 
-// Execute runs a parsed query.
+// Execute runs a parsed query. The cache ladder makes repeats graceful
+// rather than all-or-nothing: the epoch vector is captured once under the
+// scan locks, a fully clean table answers straight from the result cache,
+// and any epoch movement falls through to sampleWithEpochs — which pulls
+// warm partials for the clean shards, rescans only the dirty ones, and
+// re-merges (see scanPartials). The result cache is thereby a fast path
+// on top of an already-incremental scan, not the only alternative to a
+// full rescan.
 func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 	t, ok := db.tables[q.Table]
 	if !ok {

@@ -116,7 +116,24 @@ func compileNode(schema Schema, colIdx map[string]int, e sqlparse.Expr) (filterN
 			}
 			items[i] = op
 		}
-		return &inNode{v: v, items: items, negate: x.Negate}, nil
+		node := &inNode{v: v, items: items, negate: x.Negate}
+		// FLOAT column IN (numeric literals...) takes the word kernel; the
+		// constants are unboxed once at compile time.
+		if v.isFloatCol() {
+			consts := make([]float64, 0, len(items))
+			fast := true
+			for i := range items {
+				if items[i].isCol || items[i].lit.Kind != sqlparse.ValueNumber {
+					fast = false
+					break
+				}
+				consts = append(consts, items[i].lit.Num)
+			}
+			if fast {
+				node.floatConsts, node.floatFast = consts, true
+			}
+		}
+		return node, nil
 	case sqlparse.Like:
 		v, err := compileOperand(schema, colIdx, x.Expr)
 		if err != nil {
@@ -532,12 +549,135 @@ func evalFloatCmpScalar(ext *colExtent, sel, out *bitmap, colName string, op sql
 	})
 }
 
+// evalFloatMembership runs a set-membership predicate — BETWEEN or IN
+// over numeric literals — on a float column, one storage extent at a
+// time, with the same aligned/unaligned dispatch as evalFloatCmp. member
+// builds the membership word for up to 64 contiguous values; negation is
+// applied outside it so NULL handling stays in one place: membership of a
+// NULL is three-valued false, and the generic path applies NOT after, so
+// NOT BETWEEN / NOT IN keep NULL rows (mirroring compareValues).
+func evalFloatMembership(v *storeView, sel, out *bitmap, colOp *operand, negate bool, member func([]float64) uint64) error {
+	cv := &v.cols[colOp.col]
+	for ei := range cv.exts {
+		ext := &cv.exts[ei]
+		var err error
+		if ext.wordAligned() {
+			err = evalFloatMembershipWords(ext, sel, out, colOp.name, negate, member)
+		} else {
+			err = evalFloatMembershipScalar(ext, sel, out, colOp.name, negate, member)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalFloatMembershipWords is the word-at-a-time membership kernel over
+// one aligned extent: per 64-row word it masks the selection, rejects
+// selected-but-undefined rows, builds the membership word for the whole
+// value slab, and resolves negation (including the NULL-keeping NOT
+// semantics) with pure word ops before a single OR into the output.
+func evalFloatMembershipWords(ext *colExtent, sel, out *bitmap, colName string, negate bool, member func([]float64) uint64) error {
+	bw := ext.base >> 6
+	nw := (ext.n + 63) >> 6
+	vals := ext.floats
+	defWords := ext.defined.words
+	validWords := ext.valid.words
+	for w := 0; w < nw; w++ {
+		selw := sel.words[bw+w]
+		lo := w << 6
+		hi := lo + 64
+		if hi > ext.n {
+			hi = ext.n
+			selw &= ext.tailMask()
+		}
+		if selw == 0 {
+			continue
+		}
+		if selw&^defWords[w] != 0 {
+			return fmt.Errorf("sql: unknown column %q", colName)
+		}
+		cand := selw & validWords[w]
+		var res uint64
+		if cand != 0 {
+			inw := member(vals[lo:hi])
+			if negate {
+				res = cand &^ inw
+			} else {
+				res = cand & inw
+			}
+		}
+		if negate {
+			// Selected NULL rows survive NOT: the inner membership is false
+			// for NULL and the generic path negates after it.
+			res |= selw &^ validWords[w]
+		}
+		out.words[bw+w] |= res
+	}
+	return nil
+}
+
+// evalFloatMembershipScalar is the per-row reference path for membership
+// predicates: extents that do not start on a word boundary, and the
+// oracle the kernel parity tests compare against.
+func evalFloatMembershipScalar(ext *colExtent, sel, out *bitmap, colName string, negate bool, member func([]float64) uint64) error {
+	vals := ext.floats
+	return sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
+		i := row - ext.base
+		if !ext.defined.get(i) {
+			return fmt.Errorf("sql: unknown column %q", colName)
+		}
+		in := false
+		if ext.valid.get(i) {
+			in = member(vals[i:i+1])&1 != 0
+		}
+		if negate {
+			in = !in
+		}
+		if in {
+			out.set(row)
+		}
+		return nil
+	})
+}
+
+// betweenFloatWord packs v >= lo && v <= hi for up to 64 contiguous
+// values into the low bits of one word — branch-free (NaN is never
+// between anything).
+func betweenFloatWord(vals []float64, lo, hi float64) uint64 {
+	var w uint64
+	for i, v := range vals {
+		w |= (b2u(v >= lo) & b2u(v <= hi)) << uint(i)
+	}
+	return w
+}
+
+// inFloatWord packs membership in the constant list for up to 64
+// contiguous values: one cmpFloatWord equality sweep per constant (IN
+// lists are short, and per-constant slabs beat a per-row inner loop).
+func inFloatWord(vals []float64, consts []float64) uint64 {
+	var w uint64
+	for _, c := range consts {
+		w |= cmpFloatWord(sqlparse.OpEq, vals, c)
+	}
+	return w
+}
+
 type betweenNode struct {
 	v, lo, hi operand
 	negate    bool
 }
 
 func (n *betweenNode) eval(sv *storeView, sel, out *bitmap) error {
+	// Fast path: FLOAT column BETWEEN numeric literals — word-at-a-time
+	// membership kernel, same dispatch shape as cmpNode's float path.
+	if n.v.isFloatCol() &&
+		!n.lo.isCol && n.lo.lit.Kind == sqlparse.ValueNumber &&
+		!n.hi.isCol && n.hi.lit.Kind == sqlparse.ValueNumber {
+		return evalFloatMembership(sv, sel, out, &n.v, n.negate,
+			func(vals []float64) uint64 { return betweenFloatWord(vals, n.lo.lit.Num, n.hi.lit.Num) })
+	}
 	return sel.forEach(func(row int) error {
 		v, err := n.v.value(sv, row)
 		if err != nil {
@@ -574,9 +714,17 @@ type inNode struct {
 	v      operand
 	items  []operand
 	negate bool
+	// floatFast marks a FLOAT column tested against all-numeric literals;
+	// floatConsts are those literals unboxed at compile time.
+	floatFast   bool
+	floatConsts []float64
 }
 
 func (n *inNode) eval(sv *storeView, sel, out *bitmap) error {
+	if n.floatFast {
+		return evalFloatMembership(sv, sel, out, &n.v, n.negate,
+			func(vals []float64) uint64 { return inFloatWord(vals, n.floatConsts) })
+	}
 	return sel.forEach(func(row int) error {
 		v, err := n.v.value(sv, row)
 		if err != nil {

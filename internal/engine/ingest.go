@@ -577,7 +577,8 @@ func (t *Table) applyChunks(sh *shard, chunks []*obsChunk) {
 		},
 	}
 	sh.mu.Lock()
-	if sh.store.ApplyBatch(chunks, hooks) {
+	changed := sh.store.ApplyBatch(chunks, hooks)
+	if changed {
 		// One epoch bump per applied batch: every cached bitmap/result
 		// built before this batch stops matching, exactly as with per-row
 		// Insert but at batch granularity (see cache.go).
@@ -590,6 +591,13 @@ func (t *Table) applyChunks(sh *shard, chunks []*obsChunk) {
 		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
 	}
 	sh.mu.Unlock()
+	if changed {
+		// Outside the shard lock: subscriptions re-query on notification,
+		// and a query read-locks every shard. One notification per applied
+		// batch rides the one-epoch-bump-per-batch contract above — this is
+		// the hook live subscriptions re-estimate on (see subscribe.go).
+		t.notifyCommit()
+	}
 }
 
 // stagedConflictErr renders the conflict in Insert's error shape (values

@@ -146,6 +146,14 @@ type Table struct {
 	// configuration, chunk pool, pending apply errors and counters (see
 	// ingest.go).
 	ingest ingestState
+
+	// Commit listeners: subscriptions register a notification channel that
+	// notifyCommit pings after each applied ingest batch (see
+	// subscribe.go). subActive short-circuits the no-subscriber case to a
+	// single atomic load on the batch-apply path.
+	subMu        sync.Mutex
+	subListeners []chan<- struct{}
+	subActive    atomic.Bool
 }
 
 // NewTable creates an empty table with the given schema on the default
@@ -183,7 +191,7 @@ func NewTableWithStorage(name string, schema Schema, storage StorageConfig) (*Ta
 		storage: storage,
 		srcIDs:  make(map[string]int32),
 		id:      tableIDs.Add(1),
-		cache:   newScanCache(defaultProgramCacheEntries, defaultBitmapCacheBytes),
+		cache:   newScanCache(defaultProgramCacheEntries, defaultBitmapCacheBytes, defaultPartialCacheBytes),
 	}
 	dir := ""
 	if storage.Backend == BackendDisk {
@@ -247,10 +255,12 @@ func (t *Table) discardStorage() {
 
 // SetScanCacheLimits reconfigures the table's scan caches: maxPrograms
 // bounds the compiled-filter cache (entries), maxBitmapBytes bounds the
-// selection-bitmap cache (approximate bytes). Zero disables and clears
-// the respective layer; new tables start at the package defaults.
-func (t *Table) SetScanCacheLimits(maxPrograms, maxBitmapBytes int) {
-	t.cache.setLimits(maxPrograms, maxBitmapBytes)
+// selection-bitmap cache (approximate bytes), and maxPartialBytes bounds
+// the per-shard sample-partial cache (approximate bytes). Zero disables
+// and clears the respective layer; new tables start at the package
+// defaults.
+func (t *Table) SetScanCacheLimits(maxPrograms, maxBitmapBytes, maxPartialBytes int) {
+	t.cache.setLimits(maxPrograms, maxBitmapBytes, maxPartialBytes)
 }
 
 // CacheStats snapshots the table's compiled-filter and selection-bitmap
@@ -588,63 +598,39 @@ type GroupSample struct {
 	Sample *freqstats.Sample
 }
 
-// sampleRow is one kept row of a shard scan, carrying everything needed to
-// rebuild the observation multiset — including the row's lineage, as an
-// offset range into its part's srcBuf arena — deterministically.
-type sampleRow struct {
-	seq    uint64
-	id     string
-	value  float64
-	srcOff int32 // start of the row's lineage in the part's srcBuf
-	srcLen int32 // number of lineage sources
-}
+// Shard scans materialize into freqstats.Partial values: one shard's kept
+// rows with their lineage copied out of the store (store rows can be
+// mutated by later inserts once the scan's read lock is released) into the
+// partial's arena — no per-observation string hashing, no per-part source
+// tallies. Partials are self-contained, so beyond feeding the immediate
+// merge they are the unit of the per-shard partial cache (cache.go): a
+// frozen partial built at a shard's current epoch answers the shard's
+// contribution to a repeated query without rescanning.
 
-// samplePart is one shard's contribution to a Sample. Lineage is copied
-// out of the store (its rows can be mutated by later inserts once the
-// scan's read lock is released) into one arena per part — no
-// per-observation string hashing, no per-part source tallies.
-type samplePart struct {
-	rows   []sampleRow
-	srcBuf []int32 // arena of per-row lineage (table-global source IDs)
-}
+// samplePartPool recycles mutable scan partials across queries: a steady
+// query load reuses the rows and srcBuf arrays at their high-water
+// capacity instead of growing fresh ones per shard per scan.
+var samplePartPool = sync.Pool{New: func() any { return new(freqstats.Partial) }}
 
-// lineage returns row r's source IDs (a view into the part's arena).
-func (p *samplePart) lineage(r sampleRow) []int32 {
-	return p.srcBuf[r.srcOff : r.srcOff+r.srcLen]
-}
+func borrowSamplePart() *freqstats.Partial { return samplePartPool.Get().(*freqstats.Partial) }
 
-// samplePartPool recycles scan partials across queries: a steady query
-// load reuses the rows and srcBuf arrays at their high-water capacity
-// instead of growing fresh ones per shard per scan.
-var samplePartPool = sync.Pool{New: func() any { return new(samplePart) }}
-
-func borrowSamplePart() *samplePart { return samplePartPool.Get().(*samplePart) }
-
-// releaseSamplePart returns a part's arrays to the pool once its rows have
-// been merged into a sample. Rows are cleared so a pooled part never
-// retains entity-ID strings of a dropped table.
-func releaseSamplePart(p *samplePart) {
-	if p == nil {
+// releaseSamplePart returns a partial's arrays to the pool once its rows
+// have been merged into a sample. Frozen partials are cache-owned —
+// published by publishPartial, potentially shared with concurrent merges
+// — and are never recycled; dropping the reference leaves them to the
+// cache (and eventually the GC after eviction).
+func releaseSamplePart(p *freqstats.Partial) {
+	if p == nil || p.Frozen() {
 		return
 	}
-	clear(p.rows)
-	p.rows = p.rows[:0]
-	p.srcBuf = p.srcBuf[:0]
+	p.Reset()
 	samplePartPool.Put(p)
 }
 
-// keepRow appends one kept row (and its lineage copy) to the part.
-func (p *samplePart) keepRow(v *storeView, row int, value float64) {
-	srcs := v.lineage[row]
-	off := int32(len(p.srcBuf))
-	p.srcBuf = append(p.srcBuf, srcs...)
-	p.rows = append(p.rows, sampleRow{
-		seq:    v.seqs[row],
-		id:     v.ids[row],
-		value:  value,
-		srcOff: off,
-		srcLen: int32(len(srcs)),
-	})
+// appendViewRow appends one kept store row (and its lineage copy) to the
+// partial.
+func appendViewRow(p *freqstats.Partial, v *storeView, row int, value float64) {
+	p.AppendRow(v.seqs[row], v.ids[row], value, v.lineage[row])
 }
 
 // selectionFor returns the selection bitmap of the compiled predicate
@@ -692,7 +678,7 @@ func (t *Table) selectionFor(sh *shard, v *storeView, si int, key string, prog *
 // kept rows with their lineage. attrCol < 0 means COUNT(*)-style
 // aggregation (value 0, NULLs kept). key is the predicate's cache key
 // (filterKey). The shard must be read-locked by the caller.
-func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterProgram) (*samplePart, error) {
+func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterProgram) (*freqstats.Partial, error) {
 	part := borrowSamplePart()
 	if sh.rows() == 0 {
 		return part, nil
@@ -709,19 +695,15 @@ func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterPr
 	// shard's observed obs-per-row ratio. A pooled part usually already
 	// carries the capacity from earlier scans.
 	nSel := sel.count()
-	if cap(part.rows) < nSel {
-		part.rows = make([]sampleRow, 0, nSel)
-	}
+	obsEst := 0
 	if v.rows > 0 {
-		est := int(int64(sh.store.Obs()) * int64(nSel) / int64(v.rows))
-		est += est/8 + 8
-		if cap(part.srcBuf) < est {
-			part.srcBuf = make([]int32, 0, est)
-		}
+		obsEst = int(int64(sh.store.Obs()) * int64(nSel) / int64(v.rows))
+		obsEst += obsEst/8 + 8
 	}
+	part.Grow(nSel, obsEst)
 	if attrCol < 0 {
 		sel.forEachSet(func(row int) {
-			part.keepRow(v, row, 0)
+			appendViewRow(part, v, row, 0)
 		})
 		return part, nil
 	}
@@ -730,7 +712,7 @@ func (t *Table) scanShard(sh *shard, si, attrCol int, key string, prog *filterPr
 	cv := &v.cols[attrCol]
 	for ei := range cv.exts {
 		gatherFloats(sel, &cv.exts[ei], func(row int, value float64) {
-			part.keepRow(v, row, value)
+			appendViewRow(part, v, row, value)
 		})
 	}
 	return part, nil
@@ -782,74 +764,15 @@ func gatherFloats(sel *bitmap, ext *colExtent, keep func(row int, value float64)
 	}
 }
 
-// mergeParts folds shard partials into one freqstats.Sample in global
-// insertion order, using the bulk builder so per-query map churn stays
-// proportional to the kept entities rather than the raw observations. Every
-// kept row carries its lineage, so the sample's per-entity attribution —
-// and with it the per-source sizes n_j — is exact for any predicate. names
-// is the table's source-ID -> name snapshot from the scan.
-func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) {
-	totalRows, totalObs := 0, 0
-	active := make([]*samplePart, 0, len(parts))
-	for _, p := range parts {
-		if p == nil || len(p.rows) == 0 {
-			continue
-		}
-		active = append(active, p)
-		totalRows += len(p.rows)
-		totalObs += len(p.srcBuf)
-	}
-	s := freqstats.NewSampleWithCapacity(totalRows, len(names), totalObs)
-	// trans lazily maps table-global source IDs to sample-local ones, so
-	// the sample only interns sources that actually contributed kept
-	// observations.
-	trans := make([]int32, len(names))
-	for i := range trans {
-		trans[i] = -1
-	}
-	scratch := make([]int32, 0, 16)
-	// Each part's rows already ascend by seq: scans emit rows in row order
-	// and every store appends rows under the shard write lock with a seq
-	// drawn inside that lock. Global insertion order is therefore a k-way
-	// merge over the per-part heads — no materialized union, no
-	// reflect-driven sort. The guard keeps a future backend that reorders
-	// rows correct rather than subtly unordered.
-	for _, p := range active {
-		if !sortedBySeq(p.rows) {
-			sort.Slice(p.rows, func(i, j int) bool { return p.rows[i].seq < p.rows[j].seq })
-		}
-	}
-	heads := make([]int, len(active))
-	for len(active) > 0 {
-		best := 0
-		bestSeq := active[0].rows[heads[0]].seq
-		for pi := 1; pi < len(active); pi++ {
-			if sq := active[pi].rows[heads[pi]].seq; sq < bestSeq {
-				best, bestSeq = pi, sq
-			}
-		}
-		p := active[best]
-		r := p.rows[heads[best]]
-		scratch = scratch[:0]
-		for _, sid := range p.lineage(r) {
-			local := trans[sid]
-			if local < 0 {
-				local = s.InternSource(names[sid])
-				trans[sid] = local
-			}
-			scratch = append(scratch, local)
-		}
-		// Every merged row is a first sighting: entities hash to one
-		// shard and stores keep one row per entity, so the insert-only
-		// fast path applies (it still detects a violated guarantee).
-		if err := s.AddNewEntityObservations(r.id, r.value, scratch); err != nil {
-			return nil, err
-		}
-		if heads[best]++; heads[best] == len(p.rows) {
-			last := len(active) - 1
-			active[best], heads[best] = active[last], heads[last]
-			active = active[:last]
-		}
+// mergePartials folds shard partials into one freqstats.Sample via
+// freqstats.MergePartials (the k-way seq merge — see its doc for the
+// ordering and attribution guarantees) and, under selfCheck, re-verifies
+// the merged sample's invariants. Cached (frozen) and freshly scanned
+// partials mix freely; the output is bitwise-identical either way.
+func mergePartials(names []string, parts []*freqstats.Partial) (*freqstats.Sample, error) {
+	s, err := freqstats.MergePartials(names, parts)
+	if err != nil {
+		return nil, err
 	}
 	if selfCheck {
 		if err := s.CheckInvariants(); err != nil {
@@ -857,17 +780,6 @@ func mergeParts(names []string, parts []*samplePart) (*freqstats.Sample, error) 
 		}
 	}
 	return s, nil
-}
-
-// sortedBySeq reports whether rows ascend by seq (seqs are globally
-// unique, so non-strict ascent is enough).
-func sortedBySeq(rows []sampleRow) bool {
-	for i := 1; i < len(rows); i++ {
-		if rows[i].seq < rows[i-1].seq {
-			return false
-		}
-	}
-	return true
 }
 
 // selfCheck gates a full freqstats.Sample.CheckInvariants pass — including
@@ -905,7 +817,10 @@ func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, err
 
 // sampleWithEpochs is Sample plus the vector of shard write epochs
 // observed under the scan's read locks — the exact version of the data
-// the sample was built from, used by the executor's result cache.
+// the sample was built from, used by the executor's result cache. The
+// scan is incremental: shards whose epoch still matches a cached partial
+// are served from the partial cache and only dirty shards are rescanned
+// (see scanPartials).
 func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.Sample, [numShards]uint64, error) {
 	var epochs [numShards]uint64
 	attrCol, err := t.checkAggregateColumn(attr)
@@ -916,31 +831,68 @@ func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.S
 	if err != nil {
 		return nil, epochs, err
 	}
-	parts := make([]*samplePart, numShards)
-	release := t.rlockAll()
-	names := t.sourceNameTable()
-	for i, sh := range t.shards {
-		epochs[i] = sh.store.Epoch()
+	parts, epochs, names, err := t.scanPartials(attr, attrCol, key, prog)
+	if err != nil {
+		return nil, epochs, err
 	}
+	s, err := mergePartials(names, parts[:])
+	// The merge copied every row and lineage cell into the sample; the
+	// mutable partials go back to the scan pool (frozen ones stay with
+	// the partial cache).
+	for _, p := range parts {
+		releaseSamplePart(p)
+	}
+	return s, epochs, err
+}
+
+// scanPartials produces one partial per shard for (attr, predicate) at
+// the epoch vector observed under the scan's read locks. Shards whose
+// cached partial was built at their current epoch are served from the
+// partial cache — a cached partial is frozen, shared read-only, and never
+// rescanned — so only shards whose epoch moved pay a scan. Fresh partials
+// within the cache's byte budget are frozen and published for the next
+// query. names is the source-ID -> name snapshot taken under the same
+// locks; IDs are stable forever, so it also resolves every lineage ID in
+// partials cached by earlier scans.
+func (t *Table) scanPartials(attr string, attrCol int, key string, prog *filterProgram) (parts [numShards]*freqstats.Partial, epochs [numShards]uint64, names []string, err error) {
+	release := t.rlockAll()
+	names = t.sourceNameTable()
+	epochs = t.epochsLocked()
 	err = t.forEachShard(func(i int, sh *shard) error {
-		p, err := t.scanShard(sh, i, attrCol, key, prog)
-		if err != nil {
-			return err
+		pk := partialKey{expr: key, attr: attr, shard: i}
+		if p, ok := t.cache.lookupPartial(pk, epochs[i]); ok {
+			parts[i] = p
+			return nil
 		}
+		p, scanErr := t.scanShard(sh, i, attrCol, key, prog)
+		if scanErr != nil {
+			return scanErr
+		}
+		t.publishPartial(pk, epochs[i], p)
 		parts[i] = p
 		return nil
 	})
 	release()
 	if err != nil {
-		return nil, epochs, err
+		for _, p := range parts {
+			releaseSamplePart(p)
+		}
+		return parts, epochs, nil, err
 	}
-	s, err := mergeParts(names, parts)
-	// The merge copied every row and lineage cell into the sample; the
-	// pooled partials go back for the next scan.
-	for _, p := range parts {
-		releaseSamplePart(p)
+	return parts, epochs, names, nil
+}
+
+// publishPartial freezes and caches a freshly scanned partial when it
+// fits the partial cache's byte budget. Freezing before publication makes
+// the cached value immutable, so later queries (and this one's merge)
+// share it without copies or coordination; a partial the cache rejects
+// stays mutable and returns to the scan pool after the merge.
+func (t *Table) publishPartial(pk partialKey, epoch uint64, p *freqstats.Partial) {
+	if !t.cache.acceptsPartial(p.FootprintBytes()) {
+		return
 	}
-	return s, epochs, err
+	p.Freeze()
+	t.cache.storePartial(pk, epoch, p)
 }
 
 // compiledFilter returns the compiled program for a predicate, reusing
@@ -964,13 +916,25 @@ func (t *Table) compiledFilter(where sqlparse.Expr) (*filterProgram, string, err
 	return prog, key, nil
 }
 
-// epochVector snapshots every shard's write epoch under the read locks.
-func (t *Table) epochVector() [numShards]uint64 {
+// epochsLocked snapshots every shard's write epoch. Locking contract: the
+// caller must hold at least the read lock of every shard (rlockAll), so
+// the vector is one consistent point-in-time cut — the same cut any scan
+// running under those locks observes. This is the single epoch-capture
+// helper; every consumer (scans, the result-cache key path, cached-result
+// verification) goes through it or through epochVector.
+func (t *Table) epochsLocked() [numShards]uint64 {
 	var epochs [numShards]uint64
-	release := t.rlockAll()
 	for i, sh := range t.shards {
 		epochs[i] = sh.store.Epoch()
 	}
+	return epochs
+}
+
+// epochVector is epochsLocked behind its own all-shard read-lock
+// acquisition, for callers not already inside a locked region.
+func (t *Table) epochVector() [numShards]uint64 {
+	release := t.rlockAll()
+	epochs := t.epochsLocked()
 	release()
 	return epochs
 }
@@ -978,7 +942,7 @@ func (t *Table) epochVector() [numShards]uint64 {
 // groupPart is one shard's contribution to one GROUP BY group.
 type groupPart struct {
 	key  sqlparse.Value
-	part samplePart
+	part freqstats.Partial
 }
 
 // GroupedSamples partitions the table by the groupBy column and builds the
@@ -1011,9 +975,7 @@ func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Ex
 	shardGroups := make([]map[string]*groupPart, numShards)
 	release := t.rlockAll()
 	names := t.sourceNameTable()
-	for i, sh := range t.shards {
-		epochs[i] = sh.store.Epoch()
-	}
+	epochs = t.epochsLocked()
 	err = t.forEachShard(func(i int, sh *shard) error {
 		g, err := t.scanShardGrouped(sh, i, attrCol, groupCol, key, prog)
 		if err != nil {
@@ -1042,11 +1004,11 @@ func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Ex
 	out := make([]GroupSample, 0, len(order))
 	for _, keyStr := range order {
 		gps := merged[keyStr]
-		parts := make([]*samplePart, len(gps))
+		parts := make([]*freqstats.Partial, len(gps))
 		for i, gp := range gps {
 			parts[i] = &gp.part
 		}
-		sample, err := mergeParts(names, parts)
+		sample, err := mergePartials(names, parts)
 		if err != nil {
 			return nil, epochs, err
 		}
@@ -1080,7 +1042,7 @@ func (t *Table) scanShardGrouped(sh *shard, si, attrCol, groupCol int, key strin
 			gp = &groupPart{key: gk}
 			groups[keyStr] = gp
 		}
-		gp.part.keepRow(v, row, value)
+		appendViewRow(&gp.part, v, row, value)
 	}
 	if attrCol < 0 {
 		sel.forEachSet(func(row int) {

@@ -1,0 +1,222 @@
+package freqstats
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func buildPartial(rows []PartialRow, lineages [][]int32) *Partial {
+	p := new(Partial)
+	for i, r := range rows {
+		p.AppendRow(r.Seq, r.ID, r.Value, lineages[i])
+	}
+	return p
+}
+
+func TestPartialAppendAndAccessors(t *testing.T) {
+	var p Partial // zero value must be usable
+	if p.Rows() != 0 || p.Obs() != 0 || p.Frozen() {
+		t.Fatalf("zero Partial not empty/mutable: rows=%d obs=%d frozen=%v", p.Rows(), p.Obs(), p.Frozen())
+	}
+	p.Grow(3, 5)
+	p.AppendRow(10, "a", 1.5, []int32{0, 2})
+	p.AppendRow(20, "b", 2.5, nil)
+	p.AppendRow(30, "c", 3.5, []int32{1})
+	if p.Rows() != 3 || p.Obs() != 3 {
+		t.Fatalf("rows=%d obs=%d, want 3/3", p.Rows(), p.Obs())
+	}
+	// The arena copy must be a real copy: mutating the caller's slice after
+	// AppendRow must not change the partial's content.
+	src := []int32{0}
+	p.AppendRow(40, "d", 4.5, src)
+	before := p.Fingerprint()
+	src[0] = 99
+	if p.Fingerprint() != before {
+		t.Fatal("AppendRow aliased the caller's lineage slice")
+	}
+	p.Reset()
+	if p.Rows() != 0 || p.Obs() != 0 {
+		t.Fatal("Reset did not clear the partial")
+	}
+}
+
+func TestPartialFreezeSortsAndMemoizes(t *testing.T) {
+	// Out-of-order producer: Freeze must leave rows ascending by seq, and
+	// the fingerprint must equal that of a partial built in order.
+	shuffled := buildPartial(
+		[]PartialRow{{Seq: 30, ID: "c", Value: 3}, {Seq: 10, ID: "a", Value: 1}, {Seq: 20, ID: "b", Value: 2}},
+		[][]int32{{1}, {0}, {0, 1}},
+	)
+	ordered := buildPartial(
+		[]PartialRow{{Seq: 10, ID: "a", Value: 1}, {Seq: 20, ID: "b", Value: 2}, {Seq: 30, ID: "c", Value: 3}},
+		[][]int32{{0}, {0, 1}, {1}},
+	)
+	shuffled.Freeze()
+	if !sortedBySeq(shuffled.rows) {
+		t.Fatal("Freeze left rows out of seq order")
+	}
+	if got, want := shuffled.Fingerprint(), ordered.Fingerprint(); got != want {
+		t.Fatalf("frozen shuffled fingerprint %#x != ordered mutable fingerprint %#x", got, want)
+	}
+	if !shuffled.Frozen() {
+		t.Fatal("Freeze did not mark the partial frozen")
+	}
+	memo := shuffled.Fingerprint()
+	shuffled.Freeze() // no-op
+	if shuffled.Fingerprint() != memo {
+		t.Fatal("second Freeze changed the fingerprint")
+	}
+}
+
+func TestPartialMutatorsPanicWhenFrozen(t *testing.T) {
+	mutations := map[string]func(p *Partial){
+		"AppendRow": func(p *Partial) { p.AppendRow(1, "x", 0, nil) },
+		"Grow":      func(p *Partial) { p.Grow(1, 1) },
+		"Reset":     func(p *Partial) { p.Reset() },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			p := buildPartial([]PartialRow{{Seq: 1, ID: "a", Value: 1}}, [][]int32{{0}})
+			p.Freeze()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on a frozen Partial did not panic", name)
+				}
+			}()
+			mutate(p)
+		})
+	}
+}
+
+func TestPartialFingerprintSensitivity(t *testing.T) {
+	base := func() *Partial {
+		return buildPartial(
+			[]PartialRow{{Seq: 10, ID: "a", Value: 1}, {Seq: 20, ID: "b", Value: 2}},
+			[][]int32{{0}, {1}},
+		)
+	}
+	ref := base().Fingerprint()
+	variants := map[string]*Partial{
+		"value": buildPartial(
+			[]PartialRow{{Seq: 10, ID: "a", Value: 1.0000001}, {Seq: 20, ID: "b", Value: 2}},
+			[][]int32{{0}, {1}}),
+		"id": buildPartial(
+			[]PartialRow{{Seq: 10, ID: "z", Value: 1}, {Seq: 20, ID: "b", Value: 2}},
+			[][]int32{{0}, {1}}),
+		"seq": buildPartial(
+			[]PartialRow{{Seq: 11, ID: "a", Value: 1}, {Seq: 20, ID: "b", Value: 2}},
+			[][]int32{{0}, {1}}),
+		"lineage": buildPartial(
+			[]PartialRow{{Seq: 10, ID: "a", Value: 1}, {Seq: 20, ID: "b", Value: 2}},
+			[][]int32{{1}, {1}}),
+		"extra-obs": buildPartial(
+			[]PartialRow{{Seq: 10, ID: "a", Value: 1}, {Seq: 20, ID: "b", Value: 2}},
+			[][]int32{{0, 1}, {1}}),
+	}
+	for name, v := range variants {
+		if v.Fingerprint() == ref {
+			t.Errorf("fingerprint insensitive to %s change", name)
+		}
+	}
+}
+
+func TestPartialFootprintBytes(t *testing.T) {
+	var p Partial
+	empty := p.FootprintBytes()
+	if empty <= 0 {
+		t.Fatalf("empty footprint %d, want > 0", empty)
+	}
+	p.AppendRow(1, "entity-with-a-long-name", 1, []int32{0, 1, 2})
+	grown := p.FootprintBytes()
+	if grown <= empty+len("entity-with-a-long-name") {
+		t.Fatalf("footprint %d did not account for row, arena and ID bytes over %d", grown, empty)
+	}
+}
+
+// TestMergePartialsMatchesDirectBuild: merging per-shard partials must
+// produce a Sample bitwise-identical (fingerprint, counts, attribution)
+// to adding the same observations to a Sample directly in seq order.
+func TestMergePartialsMatchesDirectBuild(t *testing.T) {
+	names := []string{"s0", "s1", "s2"}
+	// Three "shards" with interleaved seqs.
+	parts := []*Partial{
+		buildPartial(
+			[]PartialRow{{Seq: 1, ID: "a", Value: 1}, {Seq: 7, ID: "d", Value: 4}},
+			[][]int32{{0, 1}, {2}}),
+		buildPartial(
+			[]PartialRow{{Seq: 3, ID: "b", Value: 2}},
+			[][]int32{{1, 1}}),
+		buildPartial(
+			[]PartialRow{{Seq: 5, ID: "c", Value: 3}, {Seq: 9, ID: "e", Value: 5}},
+			[][]int32{{0}, {0, 2}}),
+	}
+	direct := NewSample()
+	type flat struct {
+		id    string
+		value float64
+		srcs  []string
+	}
+	for _, f := range []flat{
+		{"a", 1, []string{"s0", "s1"}},
+		{"b", 2, []string{"s1", "s1"}},
+		{"c", 3, []string{"s0"}},
+		{"d", 4, []string{"s2"}},
+		{"e", 5, []string{"s0", "s2"}},
+	} {
+		ids := make([]int32, len(f.srcs))
+		for i, sn := range f.srcs {
+			ids[i] = direct.InternSource(sn)
+		}
+		if err := direct.AddNewEntityObservations(f.id, f.value, ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergePartials(names, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Fingerprint(), direct.Fingerprint(); got != want {
+		t.Fatalf("merged fingerprint %#x != direct build %#x", got, want)
+	}
+	if !reflect.DeepEqual(merged.SourceContributions(), direct.SourceContributions()) {
+		t.Fatalf("source contributions differ: %v vs %v", merged.SourceContributions(), direct.SourceContributions())
+	}
+
+	// Frozen (cached) partials must merge to the identical sample.
+	for _, p := range parts {
+		p.Freeze()
+	}
+	refrozen, err := MergePartials(names, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refrozen.Fingerprint() != direct.Fingerprint() {
+		t.Fatalf("frozen merge fingerprint %#x != direct build %#x", refrozen.Fingerprint(), direct.Fingerprint())
+	}
+
+	// Nil and empty partials are skipped, not errors.
+	withGaps := []*Partial{nil, parts[0], new(Partial), parts[1], parts[2], nil}
+	gapped, err := MergePartials(names, withGaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapped.Fingerprint() != direct.Fingerprint() {
+		t.Fatal("nil/empty partials changed the merge result")
+	}
+}
+
+func TestMergePartialsLineageBounds(t *testing.T) {
+	p := buildPartial([]PartialRow{{Seq: 1, ID: "a", Value: 1}}, [][]int32{{5}})
+	_, err := MergePartials([]string{"only"}, []*Partial{p})
+	if err == nil {
+		t.Fatal("lineage ID outside the source table did not error")
+	}
+	want := fmt.Sprintf("freqstats: partial lineage ID %d outside source table (len %d)", 5, 1)
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}
