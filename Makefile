@@ -11,7 +11,7 @@ BENCH_NOTE ?=
 BENCH_RECORD_OUT ?= BENCH_PR3.json
 FUZZTIME ?= 10s
 
-.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record bench-scaling fuzz-smoke ci
+.PHONY: fmt vet build test test-short race bench bench-smoke bench-compare bench-record bench-scaling fuzz-smoke serve-smoke ci
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -64,6 +64,13 @@ bench-record:
 bench-scaling:
 	go test -run=NONE -bench='^BenchmarkScaling' -cpu 1,2,4 -benchmem -count=$(BENCH_COUNT) .
 
+# serve-smoke boots the uuserve daemon end to end: create a table over
+# HTTP, ingest NDJSON, query, read a live subscription event, then
+# SIGTERM and require a graceful drain (clean exit, tenant snapshot
+# written, state restored on restart).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # fuzz-smoke runs each native fuzz target briefly (coverage-guided, so
 # even a short run mutates past the seed corpus). Crashers land in
 # testdata/fuzz and become committed regression seeds.
@@ -71,4 +78,4 @@ fuzz-smoke:
 	go test ./internal/sqlparse -run=NONE -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME)
 	go test ./internal/sqlparse -run=NONE -fuzz='FuzzParsePredicate$$' -fuzztime=$(FUZZTIME)
 
-ci: fmt vet build race test bench-smoke fuzz-smoke
+ci: fmt vet build race test bench-smoke serve-smoke fuzz-smoke

@@ -102,7 +102,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	db := engine.DB{Estimators: engine.DefaultEstimators()}
+	opts := []engine.Option{engine.WithEstimators(engine.DefaultEstimators()...)}
 	if backend == engine.BackendDisk {
 		dir := *backendDir
 		if dir == "" {
@@ -113,12 +113,13 @@ func run() error {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
-		db.Storage = engine.StorageConfig{Backend: engine.BackendDisk, Dir: dir}
+		opts = append(opts, engine.WithBackend(engine.StorageConfig{Backend: engine.BackendDisk, Dir: dir}))
 	}
-	defer db.Close()
 	if *useCache {
-		db.EnableResultCache(*cacheBytes)
+		opts = append(opts, engine.WithResultCache(*cacheBytes))
 	}
+	db := engine.Open(opts...)
+	defer db.Close()
 	var tbl *engine.Table
 	var truth float64
 	haveTruth := false
@@ -144,7 +145,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			stopWatch, err := startWatch(&db, watchSQL("SELECT SUM(value) FROM data"), *watch)
+			stopWatch, err := startWatch(db, watchSQL("SELECT SUM(value) FROM data"), *watch)
 			if err != nil {
 				return err
 			}
@@ -156,7 +157,7 @@ func run() error {
 			}
 		} else {
 			var conflicts int
-			t, conflicts, err = engine.LoadCSVTable(&db, "data", "value", f, csvio.Options{})
+			t, conflicts, err = engine.LoadCSVTable(db, "data", "value", f, csvio.Options{})
 			if err != nil {
 				return err
 			}
@@ -213,7 +214,7 @@ func run() error {
 		}
 		if *stream {
 			defaultSQL := fmt.Sprintf("SELECT SUM(%s) FROM %s", spec.attr, spec.table)
-			stopWatch, err := startWatch(&db, watchSQL(defaultSQL), *watch)
+			stopWatch, err := startWatch(db, watchSQL(defaultSQL), *watch)
 			if err != nil {
 				return err
 			}
@@ -272,8 +273,8 @@ func run() error {
 		for _, w := range res.Warnings {
 			fmt.Println("warning:  ", w)
 		}
-		printCacheStats(&db, tbl, *cacheStats)
-		return saveSnapshot(&db, *saveFile)
+		printCacheStats(db, tbl, *cacheStats)
+		return saveSnapshot(db, *saveFile)
 	}
 	fmt.Printf("observed:  %.2f   (closed-world answer)\n", res.Observed)
 	if haveTruth {
@@ -331,8 +332,8 @@ func run() error {
 		}
 		fmt.Println("\n" + diag.String())
 	}
-	printCacheStats(&db, tbl, *cacheStats)
-	return saveSnapshot(&db, *saveFile)
+	printCacheStats(db, tbl, *cacheStats)
+	return saveSnapshot(db, *saveFile)
 }
 
 // streamObservations replays an observation stream through the batched

@@ -1,0 +1,123 @@
+// Command uuserve runs the open-world aggregate engine as a long-lived
+// multi-tenant HTTP daemon: tenants map to isolated databases, queries
+// and NDJSON ingest batches arrive over JSON endpoints, subscriptions
+// stream live re-estimates as Server-Sent Events, and a kill signal
+// drains gracefully — in-flight queries finish, staged ingest rows are
+// applied, dirty tenants are saved.
+//
+// Usage:
+//
+//	uuserve -addr :8080 -snapshot-dir /var/lib/uuserve
+//	uuserve -addr :8080 -backend disk -backend-dir /var/lib/uuserve/shards
+//
+// See README.md "Running as a service" and examples/serve.sh for the
+// endpoint walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uuserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	backendName := flag.String("backend", "mem", "shard storage backend: mem or disk")
+	backendDir := flag.String("backend-dir", "", "with -backend disk: root segment directory (per-tenant subdirectories)")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for tenant snapshots (/v1/snapshot and shutdown saves; tenants restore from it on first use)")
+	cacheBytes := flag.Int("result-cache-bytes", 16<<20, "per-tenant whole-result cache budget in bytes (-1 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 32, "global in-flight query/ingest cap")
+	tenantConcurrent := flag.Int("tenant-concurrent", 8, "per-tenant in-flight cap")
+	admissionTimeout := flag.Duration("admission-timeout", time.Second, "how long a request waits for an admission slot before 503")
+	flushOnQuery := flag.Bool("flush-on-query", false, "drain ingestion staging before every query (read-your-writes)")
+	batchRows := flag.Int("ingest-batch", 0, "per-shard ingest batch size (0 = engine default)")
+	appliers := flag.Int("ingest-appliers", 0, "background applier goroutines per table (0 = engine default)")
+	flushEvery := flag.Duration("ingest-flush-every", 0, "periodic staging drain interval (0 = on demand only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	backend, err := engine.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	storage := engine.StorageConfig{Backend: backend}
+	if backend == engine.BackendDisk {
+		dir := *backendDir
+		if dir == "" {
+			return errors.New("-backend disk requires -backend-dir")
+		}
+		storage.Dir = dir
+	}
+	srv := server.New(server.Config{
+		Backend:          storage,
+		ResultCacheBytes: *cacheBytes,
+		Ingest: engine.IngestConfig{
+			BatchRows:  *batchRows,
+			Appliers:   *appliers,
+			FlushEvery: *flushEvery,
+		},
+		FlushOnQuery:     *flushOnQuery,
+		MaxConcurrent:    *maxConcurrent,
+		TenantConcurrent: *tenantConcurrent,
+		AdmissionTimeout: *admissionTimeout,
+		SnapshotDir:      *snapshotDir,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("uuserve: listening on %s (backend %s)", *addr, backend)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("uuserve: %v — draining (budget %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown ordering: reject new work and end SSE streams first, then
+	// let the HTTP layer wait out in-flight request handlers, then flush
+	// and save tenant state.
+	srv.BeginShutdown()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("uuserve: http drain: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("draining tenants: %w", err)
+	}
+	<-errCh
+	log.Printf("uuserve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# serve.sh — curl walkthrough of the uuserve HTTP API (see README
+# "Running as a service"). Starts a daemon on :8080 with snapshots in a
+# temp dir, drives every endpoint as tenant "demo", then SIGTERMs it and
+# shows the state surviving a restart.
+#
+# Run from the repo root: ./examples/serve.sh
+set -euo pipefail
+
+BASE="http://127.0.0.1:${UUSERVE_PORT:-8080}"
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building and starting uuserve (snapshots in $WORK/snapshots)"
+# Run the built binary, not `go run`: signals must reach the daemon
+# itself for the graceful-drain step below.
+go build -o "$WORK/uuserve" ./cmd/uuserve
+"$WORK/uuserve" -addr "${BASE#http://}" -snapshot-dir "$WORK/snapshots" &
+PID=$!
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do sleep 0.1; done
+
+echo "== create a table (tenant: demo)"
+curl -sf -X POST "$BASE/v1/tables" -H 'X-Tenant: demo' \
+    -d '{"name": "revenue", "schema": [{"name": "amount", "type": "float"}, {"name": "region", "type": "string"}]}'
+echo
+
+echo "== ingest NDJSON observations (one JSON object per line)"
+curl -sf -X POST "$BASE/v1/ingest?table=revenue" -H 'X-Tenant: demo' --data-binary @- <<'NDJSON'
+{"entity": "acme",  "source": "crunchbase", "attrs": {"amount": 120, "region": "emea"}}
+{"entity": "acme",  "source": "sec-10k",    "attrs": {"amount": 120, "region": "emea"}}
+{"entity": "globex", "source": "crunchbase", "attrs": {"amount": 340, "region": "apac"}}
+{"entity": "initech", "source": "sec-10k",  "attrs": {"amount": 75,  "region": "emea"}}
+NDJSON
+echo
+
+echo "== query: observed aggregate + unknown-unknowns estimates"
+curl -sf -X POST "$BASE/v1/query" -H 'X-Tenant: demo' \
+    -d '{"sql": "SELECT SUM(amount) FROM revenue"}'
+echo
+
+echo "== grouped query"
+curl -sf -X POST "$BASE/v1/query" -H 'X-Tenant: demo' \
+    -d '{"sql": "SELECT SUM(amount) FROM revenue GROUP BY region"}'
+echo
+
+echo "== tenants are isolated: same SQL as tenant 'other' -> 404"
+curl -s -X POST "$BASE/v1/query" -H 'X-Tenant: other' \
+    -d '{"sql": "SELECT SUM(amount) FROM revenue"}'
+echo
+
+echo "== live subscription: first event arrives immediately (ctrl-c to stop; here we take one)"
+curl -sf -N --max-time 5 "$BASE/v1/subscribe?tenant=demo&sql=SELECT%20SUM(amount)%20FROM%20revenue" | head -n 2 || true
+
+echo "== stats"
+curl -sf "$BASE/v1/stats"
+echo
+
+echo "== snapshot on demand"
+curl -sf -X POST "$BASE/v1/snapshot" -H 'X-Tenant: demo'
+echo
+
+echo "== SIGTERM: graceful drain (saves dirty tenants)"
+kill -TERM "$PID"
+wait "$PID" || true
+PID=""
+
+echo "== restart: tenant restores from its snapshot on first use"
+"$WORK/uuserve" -addr "${BASE#http://}" -snapshot-dir "$WORK/snapshots" &
+PID=$!
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do sleep 0.1; done
+curl -sf -X POST "$BASE/v1/query" -H 'X-Tenant: demo' \
+    -d '{"sql": "SELECT COUNT(*) FROM revenue"}'
+echo
+
+echo "== done"

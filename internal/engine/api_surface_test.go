@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden API-surface test locks the package's exported shape: every
+// exported function, method, type (with its exported struct fields and
+// interface methods), variable and constant, rendered as source text and
+// compared against testdata/api_surface.golden. Accidentally widening or
+// breaking the public API — the thing the Open/QueryContext redesign is
+// meant to stabilize for the server — fails this test; deliberate changes
+// regenerate the golden with:
+//
+//	go test ./internal/engine -run TestAPISurface -update-api-surface
+
+var updateAPISurface = flag.Bool("update-api-surface", false, "rewrite testdata/api_surface.golden from the current package")
+
+func TestAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateAPISurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-api-surface): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface drifted from %s.\nIf the change is deliberate, regenerate with:\n\tgo test ./internal/engine -run TestAPISurface -update-api-surface\n\n%s",
+			golden, surfaceDiff(string(want), got))
+	}
+}
+
+// renderAPISurface parses every non-test file of the package and renders
+// its exported declarations, one per line, sorted.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			lines = append(lines, renderDecl(fset, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		sig := *d
+		sig.Body = nil
+		sig.Doc = nil
+		return []string{exprText(fset, &sig)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, renderType(fset, s)...)
+				}
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, kw+" "+name.Name)
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedReceiver reports whether a method's receiver base type is
+// exported (functions have no receiver and always pass).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if idx, ok := typ.(*ast.IndexExpr); ok {
+		typ = idx.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// renderType renders an exported type: one "type Name <kind>" line plus a
+// line per exported struct field or interface method.
+func renderType(fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + name + " struct"}
+		for _, f := range t.Fields.List {
+			ft := exprText(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				out = append(out, fmt.Sprintf("type %s struct: %s (embedded)", name, ft))
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, fmt.Sprintf("type %s struct: %s %s", name, fn.Name, ft))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + name + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				out = append(out, fmt.Sprintf("type %s interface: %s (embedded)", name, exprText(fset, m.Type)))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, fmt.Sprintf("type %s interface: %s%s", name, mn.Name, strings.TrimPrefix(exprText(fset, m.Type), "func")))
+				}
+			}
+		}
+		return out
+	default:
+		return []string{"type " + name + " = " + exprText(fset, s.Type)}
+	}
+}
+
+func exprText(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<printer error: %v>", err)
+	}
+	// Collapse any multi-line rendering (struct literals in signatures
+	// etc.) to one line so the golden diffs stay line-per-declaration.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// surfaceDiff reports the lines present in only one of the two surfaces.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&sb, "+ %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&sb, "- %s\n", l)
+		}
+	}
+	return sb.String()
+}

@@ -133,11 +133,11 @@ func (db *DB) DiagnoseSQL(target string) (*Diagnosis, error) {
 	}
 	t, ok := db.Table(table)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", table)
+		return nil, fmt.Errorf("engine: %w %q", ErrUnknownTable, table)
 	}
 	if attr != "" {
 		if col, ok := t.Schema().Column(attr); !ok || col.Type != TypeFloat {
-			return nil, fmt.Errorf("engine: %q is not a numeric column of %q", attr, table)
+			return nil, fmt.Errorf("engine: %q is not a numeric column of %q: %w", attr, table, ErrUnknownColumn)
 		}
 	}
 	return Diagnose(t, attr)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,6 +39,14 @@ type DB struct {
 	// counters (freqstats.FilterCache) across all queries; the caches
 	// themselves are query-scoped.
 	filterHits, filterMisses atomic.Uint64
+	// scanLimits and ingestCfg hold Open-time per-table options
+	// (WithScanCacheLimits, WithIngest), applied to each table at
+	// CreateTable/Load adoption; ingesters collects the auto-started
+	// Ingesters so Close can stop them (flushing their staged tails)
+	// before releasing table storage.
+	scanLimits *scanCacheLimits
+	ingestCfg  *IngestConfig
+	ingesters  []*Ingester
 	// FlushOnQuery, when set, drains the queried table's ingestion
 	// staging before each query scan, so the query sees every observation
 	// staged to that table before it started (read-your-writes for all
@@ -145,10 +154,14 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 		db.tables = make(map[string]*Table)
 	}
 	if _, exists := db.tables[name]; exists {
-		return nil, fmt.Errorf("engine: table %q already exists", name)
+		return nil, fmt.Errorf("engine: table %q %w", name, ErrTableExists)
 	}
 	t, err := NewTableWithStorage(name, schema, db.Storage)
 	if err != nil {
+		return nil, err
+	}
+	if err := db.adoptTable(t); err != nil {
+		t.discardStorage()
 		return nil, err
 	}
 	db.tables[name] = t
@@ -157,9 +170,18 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 
 // Close releases every registered table's storage resources (disk-backend
 // mappings; a no-op for in-memory tables), including tables dropped from
-// the catalog earlier. The DB must not be queried afterwards.
+// the catalog earlier. Ingesters the DB started through WithIngest are
+// closed first — applying everything still staged — so a DB closed
+// mid-stream loses no appended observations. The DB must not be queried
+// afterwards.
 func (db *DB) Close() error {
 	var firstErr error
+	for _, ing := range db.ingesters {
+		if err := ing.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	db.ingesters = nil
 	for _, name := range db.TableNames() {
 		if err := db.tables[name].Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -194,7 +216,7 @@ func (db *DB) Table(name string) (*Table, bool) {
 func (db *DB) DropTable(name string) error {
 	t, ok := db.tables[name]
 	if !ok {
-		return fmt.Errorf("engine: unknown table %q", name)
+		return fmt.Errorf("engine: %w %q", ErrUnknownTable, name)
 	}
 	delete(db.tables, name)
 	db.dropped = append(db.dropped, t)
@@ -330,11 +352,18 @@ const MinSourcesForBalance = 5
 
 // Query parses and executes an aggregate query in the open world.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context: parse failures classify as
+// ErrParse, and cancellation/deadline expiry is observed at the shard-scan
+// and estimator fan-out boundaries (see ExecuteContext).
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, wrapParse(err)
 	}
-	return db.Execute(q)
+	return db.ExecuteContext(ctx, q)
 }
 
 // Execute runs a parsed query. The cache ladder makes repeats graceful
@@ -346,9 +375,24 @@ func (db *DB) Query(sql string) (*Result, error) {
 // on top of an already-incremental scan, not the only alternative to a
 // full rescan.
 func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
+	return db.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute under a context. Cancellation is observed at
+// the engine's natural unit boundaries — before each shard scan, between
+// per-group executions and between estimator fan-out tasks — and returns
+// ctx.Err(). A unit that already started runs to completion, so every
+// cache publication (a shard's selection bitmap, a frozen partial, a
+// whole result) is a complete value built under the scan's locks:
+// cancellation can abandon a query but can never leave a half-built entry
+// behind for the next one.
+func (db *DB) ExecuteContext(ctx context.Context, q *sqlparse.Query) (*Result, error) {
 	t, ok := db.tables[q.Table]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", q.Table)
+		return nil, fmt.Errorf("engine: %w %q", ErrUnknownTable, q.Table)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	attr := q.Attr
 	if attr == "*" {
@@ -376,7 +420,7 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 		}
 	}
 	if q.GroupBy != "" {
-		groups, epochs, err := t.groupedSamplesWithEpochs(attr, q.GroupBy, q.Where)
+		groups, epochs, err := t.groupedSamplesWithEpochs(ctx, attr, q.GroupBy, q.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -392,8 +436,8 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 		// parallelism stays ~GOMAXPROCS. (A MonteCarlo estimator's own
 		// Workers bound is separate — its grid cells run inside the
 		// estimator's slot.)
-		err = parallelFor(len(groups), func(i int) error {
-			sub, err := db.executeOnSample(q, groups[i].Sample)
+		err = parallelForCtx(ctx, len(groups), func(i int) error {
+			sub, err := db.executeOnSample(ctx, q, groups[i].Sample)
 			if err != nil {
 				return err
 			}
@@ -414,7 +458,7 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 		}
 		return res, nil
 	}
-	sample, epochs, err := t.sampleWithEpochs(attr, q.Where)
+	sample, epochs, err := t.sampleWithEpochs(ctx, attr, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -422,7 +466,7 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 	// filters; the cache detaches (and its counters land on the DB) before
 	// the result is published or cached.
 	detach := db.withFilterCache(sample)
-	res, err := db.executeOnSample(q, sample)
+	res, err := db.executeOnSample(ctx, q, sample)
 	detach()
 	if err != nil {
 		return nil, err
@@ -488,7 +532,7 @@ func verifyCachedResult(t *Table, attr string, q *sqlparse.Query, res *Result, e
 	if !selfCheck || res.Sample == nil {
 		return nil
 	}
-	fresh, freshEpochs, err := t.sampleWithEpochs(attr, q.Where)
+	fresh, freshEpochs, err := t.sampleWithEpochs(context.Background(), attr, q.Where)
 	if err != nil {
 		return err
 	}
@@ -504,7 +548,7 @@ func verifyCachedResult(t *Table, attr string, q *sqlparse.Query, res *Result, e
 
 // executeOnSample runs the aggregate and all estimators over one
 // observation multiset (the whole table or one GROUP BY group).
-func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Result, error) {
+func (db *DB) executeOnSample(ctx context.Context, q *sqlparse.Query, sample *freqstats.Sample) (*Result, error) {
 	res := &Result{
 		Query:     q,
 		Estimates: make(map[string]core.Estimate),
@@ -522,25 +566,31 @@ func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Res
 		// The paper attaches every configured estimator (plus the Section 4
 		// bound) to each query; they are independent read-only passes over
 		// the sample, so fan them out across the bounded worker pool.
-		fanOutEstimates(res, estimators, func(est core.SumEstimator) core.Estimate {
+		if err := fanOutEstimates(ctx, res, estimators, func(est core.SumEstimator) core.Estimate {
 			return est.EstimateSum(sample)
-		}, func() { res.Bound = core.UpperBound{}.Bound(sample) })
+		}, func() { res.Bound = core.UpperBound{}.Bound(sample) }); err != nil {
+			return nil, err
+		}
 	case sqlparse.AggCount:
 		res.Observed = float64(sample.C())
-		fanOutEstimates(res, estimators, func(est core.SumEstimator) core.Estimate {
+		if err := fanOutEstimates(ctx, res, estimators, func(est core.SumEstimator) core.Estimate {
 			return core.CountEstimate(est, sample)
 		}, func() {
 			if iv := species.Chao84Interval(sample, 1.96); iv.Valid {
 				res.CountInterval = &iv
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 	case sqlparse.AggAvg:
 		if sample.C() > 0 {
 			res.Observed = sample.SumValues() / float64(sample.C())
 		}
-		fanOutEstimates(res, estimators, func(est core.SumEstimator) core.Estimate {
+		if err := fanOutEstimates(ctx, res, estimators, func(est core.SumEstimator) core.Estimate {
 			return core.AvgEstimate(est, sample)
-		}, nil)
+		}, nil); err != nil {
+			return nil, err
+		}
 	case sqlparse.AggMin, sqlparse.AggMax:
 		bucket := findBucket(estimators)
 		var ext core.ExtremeResult
@@ -579,24 +629,30 @@ func (db *DB) executeOnSample(q *sqlparse.Query, sample *freqstats.Sample) (*Res
 // fanOutEstimates runs every estimator (and an optional extra task, e.g.
 // the Section 4 bound) concurrently on the bounded query worker pool and
 // stores the results keyed by estimator name. Estimators are pure readers
-// of the sample, which is immutable once built.
-func fanOutEstimates(res *Result, estimators []core.SumEstimator, run func(core.SumEstimator) core.Estimate, extra func()) {
+// of the sample, which is immutable once built. Cancellation is observed
+// between tasks (an estimator that already started runs to completion);
+// on a context error the partially filled result is discarded by the
+// caller and nothing reaches any cache.
+func fanOutEstimates(ctx context.Context, res *Result, estimators []core.SumEstimator, run func(core.SumEstimator) core.Estimate, extra func()) error {
 	ests := make([]core.Estimate, len(estimators))
 	n := len(estimators)
 	if extra != nil {
 		n++
 	}
-	_ = parallelFor(n, func(i int) error {
+	if err := parallelForCtx(ctx, n, func(i int) error {
 		if i == len(estimators) {
 			extra()
 			return nil
 		}
 		ests[i] = run(estimators[i])
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
 	for i, est := range estimators {
 		res.Estimates[est.Name()] = ests[i]
 	}
+	return nil
 }
 
 func findBucket(estimators []core.SumEstimator) core.Bucket {

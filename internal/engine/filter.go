@@ -154,7 +154,7 @@ func compileNode(schema Schema, colIdx map[string]int, e sqlparse.Expr) (filterN
 	case sqlparse.ColumnRef:
 		ci, ok := colIdx[x.Name]
 		if !ok {
-			return nil, fmt.Errorf("sql: unknown column %q", x.Name)
+			return nil, fmt.Errorf("sql: %w %q", ErrUnknownColumn, x.Name)
 		}
 		return &boolColNode{name: x.Name, col: ci, isBool: schema[ci].Type == TypeBool}, nil
 	default:
@@ -178,7 +178,7 @@ func compileOperand(schema Schema, colIdx map[string]int, e sqlparse.Expr) (oper
 	case sqlparse.ColumnRef:
 		ci, ok := colIdx[x.Name]
 		if !ok {
-			return operand{}, fmt.Errorf("sql: unknown column %q", x.Name)
+			return operand{}, fmt.Errorf("sql: %w %q", ErrUnknownColumn, x.Name)
 		}
 		return operand{isCol: true, col: ci, name: x.Name, typ: schema[ci].Type}, nil
 	default:
@@ -195,7 +195,7 @@ func (o *operand) value(v *storeView, row int) (sqlparse.Value, error) {
 	}
 	val, ok := v.cols[o.col].value(row)
 	if !ok {
-		return sqlparse.Value{}, fmt.Errorf("sql: unknown column %q", o.name)
+		return sqlparse.Value{}, fmt.Errorf("sql: %w %q", ErrUnknownColumn, o.name)
 	}
 	return val, nil
 }
@@ -306,7 +306,7 @@ func (n *boolColNode) evalWords(ext *colExtent, sel, out *bitmap) error {
 			// Report for the lowest offending row, exactly as the ascending
 			// scalar walk would.
 			if undef != 0 && (invalid == 0 || bits.TrailingZeros64(undef) < bits.TrailingZeros64(invalid)) {
-				return fmt.Errorf("sql: unknown column %q", n.name)
+				return fmt.Errorf("sql: %w %q", ErrUnknownColumn, n.name)
 			}
 			return fmt.Errorf("sql: column %q is not boolean", n.name)
 		}
@@ -322,7 +322,7 @@ func (n *boolColNode) evalScalar(ext *colExtent, sel, out *bitmap) error {
 	return sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
 		i := row - ext.base
 		if !ext.defined.get(i) {
-			return fmt.Errorf("sql: unknown column %q", n.name)
+			return fmt.Errorf("sql: %w %q", ErrUnknownColumn, n.name)
 		}
 		if !n.isBool || !ext.valid.get(i) {
 			return fmt.Errorf("sql: column %q is not boolean", n.name)
@@ -466,7 +466,7 @@ func evalFloatCmpWords(ext *colExtent, sel, out *bitmap, colName string, op sqlp
 			continue
 		}
 		if selw&^defWords[w] != 0 {
-			return fmt.Errorf("sql: unknown column %q", colName)
+			return fmt.Errorf("sql: %w %q", ErrUnknownColumn, colName)
 		}
 		cand := selw & validWords[w] // NULL never compares true
 		if cand == 0 {
@@ -519,7 +519,7 @@ func evalFloatCmpScalar(ext *colExtent, sel, out *bitmap, colName string, op sql
 	return sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
 		i := row - ext.base
 		if !ext.defined.get(i) {
-			return fmt.Errorf("sql: unknown column %q", colName)
+			return fmt.Errorf("sql: %w %q", ErrUnknownColumn, colName)
 		}
 		if !ext.valid.get(i) {
 			return nil // NULL never compares true
@@ -596,7 +596,7 @@ func evalFloatMembershipWords(ext *colExtent, sel, out *bitmap, colName string, 
 			continue
 		}
 		if selw&^defWords[w] != 0 {
-			return fmt.Errorf("sql: unknown column %q", colName)
+			return fmt.Errorf("sql: %w %q", ErrUnknownColumn, colName)
 		}
 		cand := selw & validWords[w]
 		var res uint64
@@ -626,7 +626,7 @@ func evalFloatMembershipScalar(ext *colExtent, sel, out *bitmap, colName string,
 	return sel.forEachRange(ext.base, ext.base+ext.n, func(row int) error {
 		i := row - ext.base
 		if !ext.defined.get(i) {
-			return fmt.Errorf("sql: unknown column %q", colName)
+			return fmt.Errorf("sql: %w %q", ErrUnknownColumn, colName)
 		}
 		in := false
 		if ext.valid.get(i) {

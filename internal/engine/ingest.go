@@ -605,7 +605,7 @@ func (t *Table) applyChunks(sh *shard, chunks []*obsChunk) {
 func stagedConflictErr(colName string, cols []colVector, sc *stagedCol, ci, row, srcRow int) error {
 	prev, _ := cols[ci].value(row)
 	v, _ := sc.value(srcRow)
-	return fmt.Errorf("conflicting values for column %q: %s vs %s (input not cleaned)", colName, prev, v)
+	return fmt.Errorf("%w for column %q: %s vs %s (input not cleaned)", ErrConflict, colName, prev, v)
 }
 
 // IngestConfig configures a table's background ingestion (StartIngest).

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,17 @@ const parallelScanThreshold = 1024
 // failing index (deterministic under races between failing tasks). With
 // no free slots it degrades to a plain sequential loop.
 func parallelFor(n int, fn func(i int) error) error {
+	return parallelForCtx(context.Background(), n, fn)
+}
+
+// parallelForCtx is parallelFor under a context: every worker checks the
+// context before claiming its next task, so cancellation is observed at
+// task granularity — a task that already started runs to completion (the
+// engine's cache-publication safety leans on tasks being all-or-nothing),
+// and remaining tasks are skipped with ctx.Err() recorded at the first
+// skipped index. The Background context of plain parallelFor makes the
+// check a constant nil load.
+func parallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -40,6 +52,10 @@ func parallelFor(n int, fn func(i int) error) error {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
 				return
 			}
 			errs[i] = fn(i)
@@ -73,21 +89,27 @@ func parallelFor(n int, fn func(i int) error) error {
 // forEachShard visits every shard, in parallel when the table is large
 // enough to pay for the goroutines. The caller must already hold the
 // shard read locks (rlockAll), so the whole scan sees one point-in-time
-// cut of the table.
-func (t *Table) forEachShard(fn func(i int, sh *shard) error) error {
+// cut of the table. Cancellation is observed before each shard's visit —
+// the shard-scan boundary of QueryContext's contract: a shard that
+// started scanning finishes (its published bitmap/partial is complete),
+// the remaining shards are skipped.
+func (t *Table) forEachShard(ctx context.Context, fn func(i int, sh *shard) error) error {
 	rows := 0
 	for _, sh := range t.shards {
 		rows += sh.rows()
 	}
 	if rows < parallelScanThreshold {
 		for i, sh := range t.shards {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i, sh); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return parallelFor(numShards, func(i int) error {
+	return parallelForCtx(ctx, numShards, func(i int) error {
 		return fn(i, t.shards[i])
 	})
 }

@@ -170,7 +170,7 @@ func (db *DB) Load(r io.Reader) error {
 	}()
 	for _, st := range snap.Tables {
 		if _, exists := db.tables[st.Name]; exists {
-			return fmt.Errorf("engine: snapshot table %q already exists", st.Name)
+			return fmt.Errorf("engine: snapshot table %q %w", st.Name, ErrTableExists)
 		}
 		schema := make(Schema, 0, len(st.Schema))
 		for _, c := range st.Schema {
@@ -210,5 +210,16 @@ func (db *DB) Load(r io.Reader) error {
 	for name, t := range staged.tables {
 		db.tables[name] = t
 	}
-	return nil
+	// Adopted tables inherit the DB's per-table options (scan-cache
+	// budgets, background ingestion) exactly like CreateTable'd ones. A
+	// fresh table can only fail StartIngest on a negative IngestConfig,
+	// which Open-time validation would have produced for every prior
+	// CreateTable too — so this error path is all but unreachable here.
+	var firstErr error
+	for _, name := range staged.TableNames() {
+		if err := db.adoptTable(staged.tables[name]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

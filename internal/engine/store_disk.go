@@ -316,7 +316,7 @@ func checkStagedConsistentBoxed(s ShardStore, schema Schema, row int, c *obsChun
 		}
 		v, _ := sc.value(srcRow)
 		if prev != v {
-			return fmt.Errorf("conflicting values for column %q: %s vs %s (input not cleaned)", schema[ci].Name, prev, v)
+			return fmt.Errorf("%w for column %q: %s vs %s (input not cleaned)", ErrConflict, schema[ci].Name, prev, v)
 		}
 	}
 	return nil

@@ -58,11 +58,11 @@ type Subscription struct {
 func (db *DB) Subscribe(sql string) (*Subscription, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, wrapParse(err)
 	}
 	t, ok := db.tables[q.Table]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", q.Table)
+		return nil, fmt.Errorf("engine: %w %q", ErrUnknownTable, q.Table)
 	}
 	s := &Subscription{
 		db:      db,

@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"os"
@@ -432,7 +433,7 @@ func (t *Table) validate(attrs map[string]sqlparse.Value) error {
 	for name, v := range attrs {
 		ci, ok := t.colIdx[name]
 		if !ok {
-			return fmt.Errorf("unknown column %q", name)
+			return fmt.Errorf("%w %q", ErrUnknownColumn, name)
 		}
 		if v.Kind == sqlparse.ValueNull {
 			continue
@@ -464,7 +465,7 @@ func (t *Table) checkConsistent(st ShardStore, row int, attrs map[string]sqlpars
 			continue
 		}
 		if prev != v {
-			return fmt.Errorf("conflicting values for column %q: %s vs %s (input not cleaned)", name, prev, v)
+			return fmt.Errorf("%w for column %q: %s vs %s (input not cleaned)", ErrConflict, name, prev, v)
 		}
 	}
 	return nil
@@ -796,10 +797,10 @@ func (t *Table) checkAggregateColumn(attr string) (int, error) {
 	}
 	ci, ok := t.colIdx[attr]
 	if !ok {
-		return 0, fmt.Errorf("engine: %s: unknown column %q", t.name, attr)
+		return 0, fmt.Errorf("engine: %s: %w %q", t.name, ErrUnknownColumn, attr)
 	}
 	if t.schema[ci].Type != TypeFloat {
-		return 0, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s)", t.name, attr, t.schema[ci].Type)
+		return 0, fmt.Errorf("engine: %s: cannot aggregate non-numeric column %q (%s): %w", t.name, attr, t.schema[ci].Type, ErrUnknownColumn)
 	}
 	return ci, nil
 }
@@ -811,7 +812,14 @@ func (t *Table) checkAggregateColumn(attr string) (int, error) {
 // runs shard-parallel with the predicate compiled once into a vectorized
 // filter.
 func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, error) {
-	s, _, err := t.sampleWithEpochs(attr, where)
+	return t.SampleContext(context.Background(), attr, where)
+}
+
+// SampleContext is Sample under a context: cancellation is observed
+// before each shard's scan and returns ctx.Err(); already-scanned shards
+// may have published their (complete) partials to the scan cache.
+func (t *Table) SampleContext(ctx context.Context, attr string, where sqlparse.Expr) (*freqstats.Sample, error) {
+	s, _, err := t.sampleWithEpochs(ctx, attr, where)
 	return s, err
 }
 
@@ -821,7 +829,7 @@ func (t *Table) Sample(attr string, where sqlparse.Expr) (*freqstats.Sample, err
 // scan is incremental: shards whose epoch still matches a cached partial
 // are served from the partial cache and only dirty shards are rescanned
 // (see scanPartials).
-func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.Sample, [numShards]uint64, error) {
+func (t *Table) sampleWithEpochs(ctx context.Context, attr string, where sqlparse.Expr) (*freqstats.Sample, [numShards]uint64, error) {
 	var epochs [numShards]uint64
 	attrCol, err := t.checkAggregateColumn(attr)
 	if err != nil {
@@ -831,7 +839,7 @@ func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.S
 	if err != nil {
 		return nil, epochs, err
 	}
-	parts, epochs, names, err := t.scanPartials(attr, attrCol, key, prog)
+	parts, epochs, names, err := t.scanPartials(ctx, attr, attrCol, key, prog)
 	if err != nil {
 		return nil, epochs, err
 	}
@@ -854,11 +862,11 @@ func (t *Table) sampleWithEpochs(attr string, where sqlparse.Expr) (*freqstats.S
 // query. names is the source-ID -> name snapshot taken under the same
 // locks; IDs are stable forever, so it also resolves every lineage ID in
 // partials cached by earlier scans.
-func (t *Table) scanPartials(attr string, attrCol int, key string, prog *filterProgram) (parts [numShards]*freqstats.Partial, epochs [numShards]uint64, names []string, err error) {
+func (t *Table) scanPartials(ctx context.Context, attr string, attrCol int, key string, prog *filterProgram) (parts [numShards]*freqstats.Partial, epochs [numShards]uint64, names []string, err error) {
 	release := t.rlockAll()
 	names = t.sourceNameTable()
 	epochs = t.epochsLocked()
-	err = t.forEachShard(func(i int, sh *shard) error {
+	err = t.forEachShard(ctx, func(i int, sh *shard) error {
 		pk := partialKey{expr: key, attr: attr, shard: i}
 		if p, ok := t.cache.lookupPartial(pk, epochs[i]); ok {
 			parts[i] = p
@@ -952,17 +960,23 @@ type groupPart struct {
 // deterministic output. Records whose groupBy value is NULL form their own
 // group, mirroring SQL.
 func (t *Table) GroupedSamples(attr, groupBy string, where sqlparse.Expr) ([]GroupSample, error) {
-	g, _, err := t.groupedSamplesWithEpochs(attr, groupBy, where)
+	return t.GroupedSamplesContext(context.Background(), attr, groupBy, where)
+}
+
+// GroupedSamplesContext is GroupedSamples under a context (see
+// SampleContext for the cancellation contract).
+func (t *Table) GroupedSamplesContext(ctx context.Context, attr, groupBy string, where sqlparse.Expr) ([]GroupSample, error) {
+	g, _, err := t.groupedSamplesWithEpochs(ctx, attr, groupBy, where)
 	return g, err
 }
 
 // groupedSamplesWithEpochs is GroupedSamples plus the shard epoch vector
 // observed during the scan (see sampleWithEpochs).
-func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Expr) ([]GroupSample, [numShards]uint64, error) {
+func (t *Table) groupedSamplesWithEpochs(ctx context.Context, attr, groupBy string, where sqlparse.Expr) ([]GroupSample, [numShards]uint64, error) {
 	var epochs [numShards]uint64
 	groupCol, ok := t.colIdx[groupBy]
 	if !ok {
-		return nil, epochs, fmt.Errorf("engine: %s: unknown GROUP BY column %q", t.name, groupBy)
+		return nil, epochs, fmt.Errorf("engine: %s: %w %q in GROUP BY", t.name, ErrUnknownColumn, groupBy)
 	}
 	attrCol, err := t.checkAggregateColumn(attr)
 	if err != nil {
@@ -976,7 +990,7 @@ func (t *Table) groupedSamplesWithEpochs(attr, groupBy string, where sqlparse.Ex
 	release := t.rlockAll()
 	names := t.sourceNameTable()
 	epochs = t.epochsLocked()
-	err = t.forEachShard(func(i int, sh *shard) error {
+	err = t.forEachShard(ctx, func(i int, sh *shard) error {
 		g, err := t.scanShardGrouped(sh, i, attrCol, groupCol, key, prog)
 		if err != nil {
 			return err

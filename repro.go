@@ -228,8 +228,23 @@ var (
 	Null        = sqlparse.Null
 )
 
+// Option configures a database opened with Open; see the engine package's
+// With* constructors (WithBackend, WithResultCache, WithScanCacheLimits,
+// WithFlushOnQuery, WithIngest, WithEstimators).
+type Option = engine.Option
+
+// Open returns a database built from functional options; with none it is
+// an empty in-memory database with the paper's default estimator set.
+// This is the preferred constructor; see engine.Open.
+func Open(opts ...Option) *DB {
+	return engine.Open(opts...)
+}
+
 // OpenDB returns an empty database with the paper's default estimator set
 // attached to every query result.
+//
+// Deprecated: use Open, which accepts functional options for storage,
+// caching and ingestion configuration. OpenDB remains as a thin wrapper.
 func OpenDB() *DB {
-	return &DB{Estimators: engine.DefaultEstimators()}
+	return Open(engine.WithEstimators(engine.DefaultEstimators()...))
 }
