@@ -71,6 +71,13 @@ bench-scaling:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# crash-smoke proves crash durability end to end: build uuserve on the
+# durable disk backend, ingest over HTTP, kill -9 (no drain, no
+# snapshot), restart on the same directory and require every
+# acknowledged row back via WAL replay + segment adoption.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
 # fuzz-smoke runs each native fuzz target briefly (coverage-guided, so
 # even a short run mutates past the seed corpus). Crashers land in
 # testdata/fuzz and become committed regression seeds.
@@ -78,4 +85,4 @@ fuzz-smoke:
 	go test ./internal/sqlparse -run=NONE -fuzz='FuzzParse$$' -fuzztime=$(FUZZTIME)
 	go test ./internal/sqlparse -run=NONE -fuzz='FuzzParsePredicate$$' -fuzztime=$(FUZZTIME)
 
-ci: fmt vet build race test bench-smoke serve-smoke fuzz-smoke
+ci: fmt vet build race test bench-smoke serve-smoke crash-smoke fuzz-smoke

@@ -24,6 +24,10 @@ func buildDiskBenchTable(b *testing.B) (*engine.DB, *engine.Table) {
 		Backend:     engine.BackendDisk,
 		Dir:         b.TempDir(),
 		SegmentRows: 512,
+		// Background compaction off: the gated Disk* benchmarks measure the
+		// multi-segment layout they always measured; the compacted layout
+		// has its own benchmark (BenchmarkDiskCompactedFilteredSumScan).
+		CompactSegments: -1,
 	}}
 	b.Cleanup(func() { db.Close() })
 	tbl, err := db.CreateTable("metrics", engine.Schema{
@@ -64,6 +68,34 @@ func buildDiskBenchTable(b *testing.B) (*engine.DB, *engine.Table) {
 func BenchmarkDiskFilteredSumScan(b *testing.B) {
 	_, tbl := buildDiskBenchTable(b)
 	tbl.SetScanCacheLimits(128, 0, 0) // keep programs, drop bitmaps and partials: cold scans
+	pred, err := sqlparse.ParsePredicate("v >= 250 AND v < 750")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := tbl.Sample("v", pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.C() == 0 {
+			b.Fatal("empty sample")
+		}
+	}
+}
+
+// BenchmarkDiskCompactedFilteredSumScan is BenchmarkDiskFilteredSumScan
+// after Table.Compact merged every shard into one word-aligned extent:
+// the delta against the uncompacted run is the payoff of segment
+// compaction (single-extent fast paths instead of per-segment walks).
+// Warn-only in bench-compare — it rides the pattern, not the gate.
+func BenchmarkDiskCompactedFilteredSumScan(b *testing.B) {
+	_, tbl := buildDiskBenchTable(b)
+	if err := tbl.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	tbl.SetScanCacheLimits(128, 0, 0)
 	pred, err := sqlparse.ParsePredicate("v >= 250 AND v < 750")
 	if err != nil {
 		b.Fatal(err)

@@ -89,6 +89,8 @@ func run() error {
 	flushEvery := flag.Int("flush-every", 0, "with -stream: run a read-your-writes Flush barrier every N observations (0 = only at the end)")
 	backendName := flag.String("backend", "mem", "shard storage backend: mem (in-memory columnar) or disk (mmap'd page-formatted segments)")
 	backendDir := flag.String("backend-dir", "", "with -backend disk: segment directory (default: a temp dir removed on exit)")
+	durable := flag.Bool("durable", false, "with -backend disk and -backend-dir: crash-durable mode (WAL + checkpoints; rerunning adopts nothing — tables are recreated)")
+	walSync := flag.Int("wal-sync", 0, "with -durable: fsync the WAL every N records (0 = default 64, negative = never)")
 	flag.Parse()
 
 	if *list {
@@ -106,6 +108,9 @@ func run() error {
 	if backend == engine.BackendDisk {
 		dir := *backendDir
 		if dir == "" {
+			if *durable {
+				return fmt.Errorf("-durable requires -backend-dir (a temp dir is removed on exit)")
+			}
 			tmp, err := os.MkdirTemp("", "uuquery-disk-*")
 			if err != nil {
 				return err
@@ -113,7 +118,12 @@ func run() error {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
-		opts = append(opts, engine.WithBackend(engine.StorageConfig{Backend: engine.BackendDisk, Dir: dir}))
+		opts = append(opts, engine.WithBackend(engine.StorageConfig{
+			Backend: engine.BackendDisk,
+			Dir:     dir,
+			Durable: *durable,
+			WALSync: *walSync,
+		}))
 	}
 	if *useCache {
 		opts = append(opts, engine.WithResultCache(*cacheBytes))

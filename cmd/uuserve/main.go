@@ -41,6 +41,9 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	backendName := flag.String("backend", "mem", "shard storage backend: mem or disk")
 	backendDir := flag.String("backend-dir", "", "with -backend disk: root segment directory (per-tenant subdirectories)")
+	durable := flag.Bool("durable", true, "with -backend disk: crash-durable mode (WAL + checkpoints; SIGKILL loses no acknowledged rows)")
+	walSync := flag.Int("wal-sync", 0, "with -durable: fsync the WAL every N records (0 = default 64, negative = never)")
+	compactSegments := flag.Int("compact-segments", 0, "with -backend disk: compact a shard once it holds N sealed segments (0 = default 8, negative = disable)")
 	snapshotDir := flag.String("snapshot-dir", "", "directory for tenant snapshots (/v1/snapshot and shutdown saves; tenants restore from it on first use)")
 	cacheBytes := flag.Int("result-cache-bytes", 16<<20, "per-tenant whole-result cache budget in bytes (-1 disables)")
 	maxConcurrent := flag.Int("max-concurrent", 32, "global in-flight query/ingest cap")
@@ -64,6 +67,9 @@ func run() error {
 			return errors.New("-backend disk requires -backend-dir")
 		}
 		storage.Dir = dir
+		storage.Durable = *durable
+		storage.WALSync = *walSync
+		storage.CompactSegments = *compactSegments
 	}
 	srv := server.New(server.Config{
 		Backend:          storage,
@@ -78,6 +84,7 @@ func run() error {
 		TenantConcurrent: *tenantConcurrent,
 		AdmissionTimeout: *admissionTimeout,
 		SnapshotDir:      *snapshotDir,
+		Logger:           log.Default(),
 	})
 
 	httpSrv := &http.Server{

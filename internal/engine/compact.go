@@ -1,0 +1,163 @@
+package engine
+
+// Segment compaction for the disk backend. Small ingest batches seal
+// many small segment files; each one is a separate extent, so scans on a
+// long-lived shard degrade from the single-extent word-aligned fast
+// paths to per-extent (often unaligned) walks. Compaction rewrites a
+// shard's sealed segments into ONE merged segment — one extent per
+// column, based at row 0 and therefore always word-aligned — behind the
+// same seal machinery.
+//
+// Compaction never changes logical content: the merged segment holds
+// exactly the same rows in the same order, identity and lineage are
+// untouched, and no epoch is bumped — cached filter programs, bitmaps,
+// frozen partials and whole results all remain exact (the one-epoch-
+// bump-per-mutation contract counts only logical mutations). Crash
+// safety: the merged file is written (and in durable mode fsynced)
+// before the in-memory swap, and the old files are deleted by the
+// caller only after the shard checkpoint references the merged file —
+// a crash in between leaves both generations on disk, the checkpoint
+// picks the consistent one, and the orphan sweep collects the loser.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// compact merges every sealed segment of the shard into one. It swaps
+// the in-memory segment list but does NOT delete the old files: their
+// paths are returned, and the caller removes them once the new state is
+// referenced durably (or immediately, in non-durable mode). Caller
+// holds the shard write lock.
+func (d *diskStore) compact() (stalePaths []string, err error) {
+	if len(d.segs) <= 1 {
+		return nil, nil
+	}
+	n := d.sealed
+	// The merged segment must respect the same uint32 string-offset bound
+	// as any seal. A shard whose total blob exceeds it keeps its current
+	// segments (scans still work, just multi-extent).
+	for ci, c := range d.schema {
+		if c.Type != TypeString {
+			continue
+		}
+		blob := 0
+		for _, seg := range d.segs {
+			e := &seg.cols[ci]
+			blob += len(e.strBlob)
+			for i := range e.strs {
+				blob += len(e.strs[i])
+			}
+		}
+		if blob > maxSegStringBlob {
+			return nil, nil
+		}
+	}
+
+	cols := newTailCols(d.schema)
+	for ci, c := range d.schema {
+		col := &cols[ci]
+		col.defined.grow(n)
+		col.valid.grow(n)
+		switch c.Type {
+		case TypeFloat:
+			col.floats = make([]float64, 0, n)
+		case TypeString:
+			col.strs = make([]string, 0, n)
+		case TypeBool:
+			col.bools = make([]bool, 0, n)
+		}
+		for _, seg := range d.segs {
+			e := &seg.cols[ci]
+			switch c.Type {
+			case TypeFloat:
+				col.floats = append(col.floats, e.floats[:e.n]...)
+			case TypeString:
+				for i := 0; i < e.n; i++ {
+					col.strs = append(col.strs, e.str(i))
+				}
+			case TypeBool:
+				for i := 0; i < e.n; i++ {
+					col.bools = append(col.bools, e.boolAt(i))
+				}
+			}
+			for i := 0; i < e.n; i++ {
+				if e.defined.get(i) {
+					col.defined.set(seg.base + i)
+				}
+				if e.valid.get(i) {
+					col.valid.set(seg.base + i)
+				}
+			}
+		}
+	}
+
+	path := filepath.Join(d.dir, segFileName(d.shardIdx, d.nextSegID))
+	raw := buildSegmentBytes(d.schema, cols, n)
+	if err := d.writeSegmentFile(path, raw); err != nil {
+		return nil, fmt.Errorf("engine: writing compacted segment: %w", err)
+	}
+	merged, err := openSegment(path, d.schema, 0, d.useMmap)
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("engine: reopening compacted segment: %w", err)
+	}
+	d.nextSegID++
+	for _, seg := range d.segs {
+		stalePaths = append(stalePaths, seg.path)
+		if seg.mapped {
+			munmapFile(seg.data)
+			seg.mapped = false
+		}
+		seg.data = nil
+		seg.cols = nil
+	}
+	d.segs = []*segment{merged}
+	d.view.Store(nil)
+	return stalePaths, nil
+}
+
+// Compact force-compacts every disk-backed shard of the table: the
+// current in-memory tail is sealed and all sealed segments are merged
+// into one per shard, so subsequent scans run on single word-aligned
+// extents. In durable mode the shard checkpoints are rewritten so the
+// merged layout is the recovery point. A no-op for the in-memory
+// backend. Background compaction (StorageConfig.CompactSegments) makes
+// explicit calls unnecessary for steady workloads; Compact exists for
+// benchmarks, tests and load-then-serve pipelines.
+func (t *Table) Compact() error {
+	var firstErr error
+	for si, sh := range t.shards {
+		sh.mu.Lock()
+		ds, ok := sh.store.(*diskStore)
+		if !ok || ds.closed {
+			sh.mu.Unlock()
+			continue
+		}
+		err := func() error {
+			if err := ds.seal(); err != nil {
+				return err
+			}
+			var stale []string
+			if len(ds.segs) > 1 {
+				var cerr error
+				stale, cerr = ds.compact()
+				if cerr != nil {
+					return cerr
+				}
+			}
+			if t.checkpointShardLocked(sh, si, true) {
+				for _, p := range stale {
+					os.Remove(p)
+				}
+			}
+			return nil
+		}()
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: %s: compacting shard %d: %w", t.name, si, err)
+		}
+	}
+	return firstErr
+}

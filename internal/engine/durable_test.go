@@ -1,0 +1,431 @@
+package engine
+
+// Durable disk tier: recovery round trips, segment adoption, snapshot
+// integration and compaction parity. The crash-by-SIGKILL harness lives
+// in crash_test.go; the WAL corruption suite in wal_corrupt_test.go.
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sqlparse"
+)
+
+// durableCfg is the durable disk configuration the suite uses: tiny
+// segments so shards cross seal boundaries, per-record WAL fsync so the
+// tests exercise the sync path too.
+func durableCfg(dir string) StorageConfig {
+	return StorageConfig{
+		Backend:     BackendDisk,
+		Dir:         dir,
+		Durable:     true,
+		SegmentRows: 32,
+		WALSync:     1,
+	}
+}
+
+// TestDurableRecoverRoundTrip closes a durable database cleanly and
+// re-opens it via RecoverTables: the recovered query surface must be
+// bitwise-identical to an in-memory reference (sample fingerprints,
+// attribution, every estimator's numbers).
+func TestDurableRecoverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	obs := metaWorkload(rng, 40, 8, 500)
+	ref := memRef(t, obs)
+
+	dir := t.TempDir()
+	vrng := rand.New(rand.NewSource(42))
+	db1 := streamVariantStorage(t, vrng, obs, true, durableCfg(dir))
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := &DB{Storage: durableCfg(dir)}
+	t.Cleanup(func() { db2.Close() })
+	names, err := db2.RecoverTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "t" {
+		t.Fatalf("recovered %v, want [t]", names)
+	}
+	querySurface(t, ref, db2, "durable recover round trip")
+}
+
+// TestDurableStagedRowsSurviveClose appends rows through the batched
+// path WITHOUT a flush barrier and closes: the staged rows were
+// WAL-acknowledged at Append time, so recovery must replay them.
+func TestDurableStagedRowsSurviveClose(t *testing.T) {
+	dir := t.TempDir()
+	db1 := &DB{Storage: durableCfg(dir)}
+	tbl, err := db1.CreateTable("t", Schema{
+		{Name: "name", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 50
+	for i := 0; i < rows; i++ {
+		id := fmt.Sprintf("e%03d", i)
+		err := tbl.Append(id, "s0", map[string]sqlparse.Value{
+			"name": sqlparse.StringValue(id),
+			"v":    sqlparse.Number(float64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush: with the default 256-row batch every row is still staged.
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := &DB{Storage: durableCfg(dir)}
+	t.Cleanup(func() { db2.Close() })
+	if _, err := db2.RecoverTables(); err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := db2.Table("t")
+	if !ok {
+		t.Fatal("table t not recovered")
+	}
+	if got := rt.NumRecords(); got != rows {
+		t.Fatalf("recovered %d records, want %d", got, rows)
+	}
+	res, err := db2.Query("SELECT SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(rows*(rows-1)) / 2; res.Observed != want {
+		t.Fatalf("recovered SUM(v) = %g, want %g", res.Observed, want)
+	}
+}
+
+// segFileInfo captures the identity of every sealed segment file under a
+// table directory: name, size and modification time.
+func segFileInfo(t *testing.T, tableDir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := filepath.WalkDir(tableDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".seg") {
+			return err
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out[filepath.Base(path)] = fmt.Sprintf("%d@%d", fi.Size(), fi.ModTime().UnixNano())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDurableAdoptionNoReinsert proves recovery adopts sealed segment
+// files by reference: after a clean close, RecoverTables must leave
+// every segment file bit-for-bit alone (same name, size and mtime — a
+// re-insert path would rewrite them).
+func TestDurableAdoptionNoReinsert(t *testing.T) {
+	dir := t.TempDir()
+	db1 := &DB{Storage: durableCfg(dir)}
+	tbl, err := db1.CreateTable("t", Schema{
+		{Name: "name", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 400 // >> SegmentRows x numShards: every shard seals
+	for i := 0; i < rows; i++ {
+		id := fmt.Sprintf("e%04d", i)
+		err := tbl.Insert(id, "s0", map[string]sqlparse.Value{
+			"name": sqlparse.StringValue(id),
+			"v":    sqlparse.Number(float64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tableDir := filepath.Join(dir, "t")
+	before := segFileInfo(t, tableDir)
+	if len(before) == 0 {
+		t.Fatal("no sealed segment files; fixture too small")
+	}
+
+	// ModTime granularity guard: make any rewrite observable.
+	time.Sleep(10 * time.Millisecond)
+
+	db2 := &DB{Storage: durableCfg(dir)}
+	t.Cleanup(func() { db2.Close() })
+	if _, err := db2.RecoverTables(); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := db2.Table("t")
+	if got := rt.NumRecords(); got != rows {
+		t.Fatalf("recovered %d records, want %d", got, rows)
+	}
+	after := segFileInfo(t, tableDir)
+	if len(after) != len(before) {
+		t.Fatalf("segment file set changed: %d files before, %d after", len(before), len(after))
+	}
+	for name, id := range before {
+		if after[name] != id {
+			t.Fatalf("segment %s was rewritten by recovery: %s -> %s", name, id, after[name])
+		}
+	}
+}
+
+// TestSnapshotLoadAdoptsSegments covers the Load fast path: a snapshot
+// saved from a durable database, loaded into a fresh DB over the SAME
+// storage directory, adopts the sealed segments in place instead of
+// re-inserting records — and still answers identically. The same
+// snapshot loaded into a DIFFERENT (empty) directory takes the
+// record-replay fallback and must also answer identically.
+func TestSnapshotLoadAdoptsSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	obs := metaWorkload(rng, 30, 6, 400)
+	ref := memRef(t, obs)
+
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	db1, tbl := metaTableStorage(t, cfg)
+	for _, o := range obs {
+		if err := tbl.Insert(o.entity, o.source, o.attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := db1.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tableDir := filepath.Join(dir, "t")
+	before := segFileInfo(t, tableDir)
+	if len(before) == 0 {
+		t.Fatal("no sealed segment files; fixture too small")
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	adopt := &DB{Storage: cfg}
+	t.Cleanup(func() { adopt.Close() })
+	if err := adopt.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after := segFileInfo(t, tableDir)
+	for name, id := range before {
+		if after[name] != id {
+			t.Fatalf("adopting Load rewrote segment %s: %s -> %s", name, id, after[name])
+		}
+	}
+	querySurface(t, ref, adopt, "snapshot load (segment adoption)")
+
+	// Fallback: same snapshot, fresh directory — record replay through the
+	// bulk writer, same answers.
+	fresh := &DB{Storage: durableCfg(t.TempDir())}
+	t.Cleanup(func() { fresh.Close() })
+	if err := fresh.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	querySurface(t, ref, fresh, "snapshot load (record-replay fallback)")
+}
+
+// TestCompactionParity: a disk store that compacts aggressively during
+// ingest must be query-surface indistinguishable from the in-memory
+// reference, and an explicitly Compact()ed store must end with one
+// segment per shard and identical answers.
+func TestCompactionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	// Enough entities that every 16th-shard slice crosses several 8-row
+	// seal boundaries (rows per shard ~= entities/16).
+	obs := metaWorkload(rng, 300, 8, 1200)
+	ref := memRef(t, obs)
+
+	// Background compaction: tiny segments + threshold 2 forces many
+	// merge cycles while the workload streams in.
+	bg := StorageConfig{
+		Backend:         BackendDisk,
+		Dir:             t.TempDir(),
+		SegmentRows:     8,
+		CompactSegments: 2,
+	}
+	vrng := rand.New(rand.NewSource(48))
+	got := streamVariantStorage(t, vrng, obs, true, bg)
+	querySurface(t, ref, got, "disk with background compaction")
+
+	// Explicit compaction: build with compaction disabled, then Compact;
+	// every shard must collapse to a single (word-aligned) extent with an
+	// unchanged surface and unchanged epochs (cache exactness).
+	off := StorageConfig{
+		Backend:         BackendDisk,
+		Dir:             t.TempDir(),
+		SegmentRows:     8,
+		CompactSegments: -1,
+	}
+	db, tbl := metaTableStorage(t, off)
+	for _, o := range obs {
+		if err := tbl.Insert(o.entity, o.source, o.attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var epochs [numShards]uint64
+	multi := 0
+	for si, sh := range tbl.shards {
+		sh.mu.RLock()
+		epochs[si] = sh.store.Epoch()
+		if ds, ok := sh.store.(*diskStore); ok && len(ds.segs) > 1 {
+			multi++
+		}
+		sh.mu.RUnlock()
+	}
+	if multi == 0 {
+		t.Fatal("no shard has multiple segments; fixture too small")
+	}
+	if err := tbl.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for si, sh := range tbl.shards {
+		sh.mu.RLock()
+		ds := sh.store.(*diskStore)
+		if len(ds.segs) > 1 {
+			t.Errorf("shard %d still has %d segments after Compact", si, len(ds.segs))
+		}
+		if ds.tailRows() != 0 {
+			t.Errorf("shard %d still has %d tail rows after Compact", si, ds.tailRows())
+		}
+		if got := sh.store.Epoch(); got != epochs[si] {
+			t.Errorf("shard %d epoch moved %d -> %d: compaction must not bump", si, epochs[si], got)
+		}
+		sh.mu.RUnlock()
+	}
+	querySurface(t, ref, db, "disk explicitly compacted")
+}
+
+// TestCompactionDurableRecover compacts a durable table, recovers it,
+// and checks both the merged layout and the surface survive.
+func TestCompactionDurableRecover(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	obs := metaWorkload(rng, 250, 6, 1000)
+	ref := memRef(t, obs)
+
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.SegmentRows = 8
+	cfg.CompactSegments = -1
+	db1, tbl := metaTableStorage(t, cfg)
+	for _, o := range obs {
+		if err := tbl.Insert(o.entity, o.source, o.attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := &DB{Storage: cfg}
+	t.Cleanup(func() { db2.Close() })
+	if _, err := db2.RecoverTables(); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := db2.Table("t")
+	for si, sh := range rt.shards {
+		sh.mu.RLock()
+		if ds, ok := sh.store.(*diskStore); ok && len(ds.segs) > 1 {
+			t.Errorf("shard %d recovered %d segments, want <= 1", si, len(ds.segs))
+		}
+		sh.mu.RUnlock()
+	}
+	querySurface(t, ref, db2, "compacted durable recover")
+}
+
+// TestLoadFailureCleansOwnDirs: a failing snapshot Load must remove the
+// segment directories it created (satellite: no orphaned files from a
+// partial Load) while never touching a pre-existing adopted directory.
+func TestLoadFailureCleansOwnDirs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	db := &DB{Storage: cfg}
+	t.Cleanup(func() { db.Close() })
+
+	// Two tables; the second one's records are corrupt, so Load fails
+	// after the first table was fully staged on disk.
+	snap := `{"version":1,"tables":[
+	 {"name":"a","schema":[{"name":"v","type":"float"}],
+	  "records":[{"entity":"e1","attrs":{"v":{"kind":"number","num":1}},"sources":["s1"]}]},
+	 {"name":"b","schema":[{"name":"v","type":"float"}],
+	  "records":[{"entity":"e2","attrs":{"v":{"kind":"number"}},"sources":["s1"]}]}
+	]}`
+	if err := db.Load(strings.NewReader(snap)); err == nil {
+		t.Fatal("Load of corrupt snapshot succeeded")
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("failed Load left directory %q behind (stat err: %v)", name, err)
+		}
+	}
+	if len(db.TableNames()) != 0 {
+		t.Errorf("failed Load registered tables: %v", db.TableNames())
+	}
+}
+
+// TestRecoverSweepsOrphans: files in a table directory that no manifest,
+// checkpoint or live segment references (crashed seal/compaction debris,
+// temp files) are removed by recovery; WAL generations are left alone.
+func TestRecoverSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	db1 := &DB{Storage: cfg}
+	tbl, err := db1.CreateTable("t", Schema{{Name: "v", Type: TypeFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("e%03d", i)
+		if err := tbl.Insert(id, "s0", map[string]sqlparse.Value{"v": sqlparse.Number(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tableDir := filepath.Join(dir, "t")
+	orphanSeg := filepath.Join(tableDir, "shard00-seg99999.seg")
+	orphanTmp := filepath.Join(tableDir, "shard03.ckpt.123.tmp")
+	for _, p := range []string{orphanSeg, orphanTmp} {
+		if err := os.WriteFile(p, []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db2 := &DB{Storage: cfg}
+	t.Cleanup(func() { db2.Close() })
+	if _, err := db2.RecoverTables(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{orphanSeg, orphanTmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived recovery (stat err: %v)", filepath.Base(p), err)
+		}
+	}
+	rt, _ := db2.Table("t")
+	if got := rt.NumRecords(); got != 100 {
+		t.Fatalf("recovered %d records, want 100", got)
+	}
+}

@@ -284,6 +284,13 @@ type stagingBuf struct {
 	mu     sync.Mutex
 	chunks []*obsChunk
 	rows   int
+	// walPending holds the WAL record seqs (ascending) covering the
+	// currently staged rows; applying holds the seqs of the batch an
+	// in-flight drain is applying right now. Durable mode only — both
+	// keep the checkpoint watermark from releasing WAL records whose rows
+	// are not applied yet (see Table.walSafeApplied).
+	walPending []uint64
+	applying   []uint64
 
 	applyMu sync.Mutex
 }
@@ -454,6 +461,9 @@ func (t *Table) Append(entityID, source string, attrs map[string]sqlparse.Value)
 		st.mu.Unlock()
 		return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 	}
+	if t.wal != nil {
+		t.logStagedRows(si, st, c, c.n-1, c.n)
+	}
 	st.rows++
 	rows := st.rows
 	// Counted before the lock drops, so a concurrent drain can never
@@ -462,6 +472,29 @@ func (t *Table) Append(entityID, source string, attrs map[string]sqlparse.Value)
 	st.mu.Unlock()
 	t.afterStage(si, rows)
 	return nil
+}
+
+// logStagedRows appends rows [lo, hi) of the chunk as one record to the
+// shard's WAL and tracks the record seq as pending. By the time the
+// staging call returns to its caller the row is in the log — that write
+// is the acknowledgement the crash-recovery contract stands on. A WAL
+// append failure degrades durability, not availability: the rows stay
+// staged and will apply normally, and the failure is recorded for the
+// next Flush (matching the disk-seal error policy). Caller holds st.mu.
+func (t *Table) logStagedRows(si int, st *stagingBuf, c *obsChunk, lo, hi int) {
+	var maxSid int32
+	for i := lo; i < hi; i++ {
+		if c.srcs[i] > maxSid {
+			maxSid = c.srcs[i]
+		}
+	}
+	names := t.srcNamesCovering(maxSid)
+	seq, err := t.wal.appendChunkRows(si, t.schema, names, c, lo, hi)
+	if err != nil {
+		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
+		return
+	}
+	st.walPending = append(st.walPending, seq)
 }
 
 // AppendRow is the positional fast path of Append: vals holds one value
@@ -483,6 +516,9 @@ func (t *Table) AppendRow(entityID, source string, vals []sqlparse.Value) error 
 	if err := c.stageRowPositional(t.schema, entityID, sid, vals); err != nil {
 		st.mu.Unlock()
 		return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
+	}
+	if t.wal != nil {
+		t.logStagedRows(si, st, c, c.n-1, c.n)
 	}
 	st.rows++
 	rows := st.rows
@@ -526,13 +562,22 @@ func (t *Table) drainShard(si int) {
 	st.mu.Lock()
 	chunks := st.chunks
 	rows := st.rows
+	pending := st.walPending
 	st.chunks = nil
 	st.rows = 0
+	st.walPending = nil
+	// The batch's WAL records move from pending to applying for the
+	// duration of the apply: the checkpoint watermark must not pass them
+	// until their rows are actually in the store.
+	st.applying = pending
 	st.mu.Unlock()
 	if len(chunks) == 0 {
 		return
 	}
-	t.applyChunks(sh, chunks)
+	t.applyChunks(si, chunks, pending)
+	st.mu.Lock()
+	st.applying = nil
+	st.mu.Unlock()
 	t.ingest.staged.Add(-int64(rows))
 	t.ingest.batches.Add(1)
 	t.ingest.appliedRows.Add(uint64(rows))
@@ -567,8 +612,11 @@ func (t *Table) Flush() error {
 // The per-row semantics live in ShardStore.ApplyBatch and mirror Insert
 // exactly: first insertion fixes the attribute values, later mentions
 // extend the lineage idempotently, conflicting re-reports are recorded as
-// errors (via the hooks) but still counted.
-func (t *Table) applyChunks(sh *shard, chunks []*obsChunk) {
+// errors (via the hooks) but still counted. pending carries the batch's
+// WAL record seqs (durable mode; nil otherwise): once the batch is in
+// the store, the shard's applied watermark advances past them.
+func (t *Table) applyChunks(si int, chunks []*obsChunk, pending []uint64) {
+	sh := t.shards[si]
 	hooks := applyHooks{
 		schema:  t.schema,
 		nextSeq: func() uint64 { return t.seq.Add(1) },
@@ -584,12 +632,15 @@ func (t *Table) applyChunks(sh *shard, chunks []*obsChunk) {
 		// Insert but at batch granularity (see cache.go).
 		sh.store.BumpEpoch()
 	}
-	if err := sh.store.Maintain(); err != nil {
-		// Housekeeping (disk-segment sealing) failed: the rows are applied
-		// and remain served from memory; surface the condition at the next
-		// Flush like any other apply-side error.
-		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
+	for _, seq := range pending {
+		if seq > t.walApplied[si] {
+			t.walApplied[si] = seq
+		}
 	}
+	// Housekeeping (sealing, compaction, durable checkpointing) failures
+	// are recorded for the next Flush: the rows are applied and remain
+	// served from memory either way.
+	t.maintainShardLocked(sh, si)
 	sh.mu.Unlock()
 	if changed {
 		// Outside the shard lock: subscriptions re-query on notification,
@@ -838,6 +889,13 @@ func (w *Writer) pushChunk(si int) {
 	st := &t.shards[si].staging
 	st.mu.Lock()
 	st.chunks = append(st.chunks, c)
+	if t.wal != nil {
+		// One WAL record per pushed chunk: the push (not the writer-local
+		// buffering) is the durability acknowledgement point, matching the
+		// visibility contract — writer-local rows are invisible to Flush
+		// too until pushed.
+		t.logStagedRows(si, st, c, 0, c.rows())
+	}
 	st.rows += c.rows()
 	rows := st.rows
 	t.ingest.staged.Add(int64(c.rows())) // before unlock: see Append

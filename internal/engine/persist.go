@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/sqlparse"
 )
@@ -23,8 +25,14 @@ type snapshotDB struct {
 }
 
 type snapshotTable struct {
-	Name    string           `json:"name"`
-	Schema  []snapshotColumn `json:"schema"`
+	Name   string           `json:"name"`
+	Schema []snapshotColumn `json:"schema"`
+	// DiskUID identifies the durable on-disk instance this table was
+	// saved from (the manifest UID). When Load finds a directory with the
+	// same UID and schema it adopts the sealed segments in place instead
+	// of re-inserting Records; the rows below remain the portable,
+	// backend-agnostic fallback.
+	DiskUID string           `json:"disk_uid,omitempty"`
 	Records []snapshotRecord `json:"records"`
 }
 
@@ -122,7 +130,7 @@ func (db *DB) Save(w io.Writer) error {
 	for _, name := range db.TableNames() {
 		t := db.tables[name]
 		t.drainAll()
-		st := snapshotTable{Name: t.name}
+		st := snapshotTable{Name: t.name, DiskUID: t.uid}
 		for _, c := range t.schema {
 			st.Schema = append(st.Schema, snapshotColumn{Name: c.Name, Type: encodeColumnType(c.Type)})
 		}
@@ -133,6 +141,11 @@ func (db *DB) Save(w io.Writer) error {
 			}
 			st.Records = append(st.Records, sr)
 		}
+		// Canonical record order: entities are unique within a table and
+		// records are independent (first-wins applies within an entity, never
+		// across), so ordering carries no meaning — sorting makes the bytes
+		// deterministic regardless of backend, ingest path or apply timing.
+		sort.Slice(st.Records, func(i, j int) bool { return st.Records[i].Entity < st.Records[j].Entity })
 		snap.Tables = append(snap.Tables, st)
 	}
 	enc := json.NewEncoder(w)
@@ -147,6 +160,17 @@ func (db *DB) Save(w io.Writer) error {
 // loading is also the conversion path between backends: a snapshot saved
 // from an in-memory database restores 1:1 into a disk-backed one and vice
 // versa (the snapshot format is backend-agnostic).
+//
+// On a durable disk-backed DB, a snapshot table that was saved from a
+// durable instance carries that instance's UID; when the storage
+// directory still holds a table with the same name, UID and schema, Load
+// adopts its sealed segments in place (O(metadata), no row re-inserted)
+// instead of replaying the snapshot's records. The directory is
+// authoritative in that case — it may hold rows acknowledged after the
+// snapshot was written, and durability wins over snapshot point-in-time
+// semantics. Any mismatch (different UID, changed schema, recovery
+// failure) falls back to the record-replay path, which rebuilds the
+// table from the snapshot via the bulk ingest writer.
 func (db *DB) Load(r io.Reader) error {
 	var snap snapshotDB
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -155,17 +179,26 @@ func (db *DB) Load(r io.Reader) error {
 	if snap.Version > snapshotVersion {
 		return fmt.Errorf("engine: snapshot version %d is newer than supported %d", snap.Version, snapshotVersion)
 	}
+	storage := resolveStorage(db.Storage)
+	durable := storage.Backend == BackendDisk && storage.Durable
 	staged := DB{Storage: db.Storage}
+	adoptedDisk := make(map[string]bool)
 	adopted := false
 	defer func() {
 		if adopted {
 			return
 		}
-		// Failed load: the staged tables are abandoned, so release their
-		// backend resources AND remove the segment directories they just
-		// created (nothing will ever reference those files again).
+		// Failed load: the staged tables are abandoned. Tables this load
+		// created also own their segment directories, so those are removed
+		// (nothing will ever reference the files again) — but a table
+		// adopted from a pre-existing durable directory is only closed: its
+		// files are real recovered data, not this load's scratch space.
 		for _, name := range staged.TableNames() {
-			staged.tables[name].discardStorage()
+			if adoptedDisk[name] {
+				staged.tables[name].Close()
+			} else {
+				staged.tables[name].discardStorage()
+			}
 		}
 	}()
 	for _, st := range snap.Tables {
@@ -180,10 +213,21 @@ func (db *DB) Load(r io.Reader) error {
 			}
 			schema = append(schema, Column{Name: c.Name, Type: ct})
 		}
+		if durable && st.DiskUID != "" {
+			if t := adoptDurableTable(st.Name, st.DiskUID, schema, storage); t != nil {
+				if staged.tables == nil {
+					staged.tables = make(map[string]*Table)
+				}
+				staged.tables[st.Name] = t
+				adoptedDisk[st.Name] = true
+				continue
+			}
+		}
 		tbl, err := staged.CreateTable(st.Name, schema)
 		if err != nil {
 			return err
 		}
+		w := tbl.NewWriter()
 		for _, sr := range st.Records {
 			attrs := make(map[string]sqlparse.Value, len(sr.Attrs))
 			for k, v := range sr.Attrs {
@@ -197,10 +241,21 @@ func (db *DB) Load(r io.Reader) error {
 				return fmt.Errorf("engine: table %q entity %q has no sources", st.Name, sr.Entity)
 			}
 			for _, src := range sr.Sources {
-				if err := tbl.Insert(sr.Entity, src, attrs); err != nil {
+				// Synchronous Append errors are schema violations — those
+				// fail the load outright, matching the old per-row path.
+				if err := w.Append(sr.Entity, src, attrs); err != nil {
 					return fmt.Errorf("engine: restoring table %q: %w", st.Name, err)
 				}
 			}
+		}
+		// Flush surfaces the deferred apply errors with the same conflict
+		// accounting the bulk loaders use. A snapshot written by Save never
+		// conflicts with itself, so any error here means corrupted or
+		// hand-edited input — fail the load rather than restore a table
+		// that silently differs from the snapshot.
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("engine: restoring table %q: %d conflicts/errors: %w",
+				st.Name, countConflicts(err), err)
 		}
 	}
 	if db.tables == nil {
@@ -222,4 +277,30 @@ func (db *DB) Load(r io.Reader) error {
 		}
 	}
 	return firstErr
+}
+
+// adoptDurableTable tries to re-open the durable table directory
+// <storage.Dir>/<name> for a snapshot table saved with DiskUID uid.
+// Returns nil (fall back to record replay) unless the directory holds a
+// manifest with exactly that UID and schema and recovers cleanly — the
+// fallback path then recreates the table, wiping the stale directory.
+func adoptDurableTable(name, uid string, schema Schema, storage StorageConfig) *Table {
+	m, err := readTableManifest(filepath.Join(storage.Dir, name))
+	if err != nil || m == nil || m.UID != uid {
+		return nil
+	}
+	ms, err := schemaFromManifest(m.Schema)
+	if err != nil || len(ms) != len(schema) {
+		return nil
+	}
+	for i := range ms {
+		if ms[i] != schema[i] {
+			return nil
+		}
+	}
+	t, err := recoverTable(name, storage)
+	if err != nil {
+		return nil
+	}
+	return t
 }

@@ -94,6 +94,30 @@ type StorageConfig struct {
 	// loaded into aligned heap buffers instead of being memory-mapped.
 	// The scan path is identical either way; only residency differs.
 	DisableMmap bool
+	// Durable switches the disk backend into its crash-durable mode: each
+	// table lives in a STABLE directory (<Dir>/<table name>) with a
+	// manifest, per-shard checkpoint files, and a write-ahead log of staged
+	// ingest chunks. Acknowledged rows (a returned Append/Insert, a Writer
+	// flush) survive SIGKILL via WAL replay, and DB.RecoverTables /
+	// snapshot Load re-open the sealed segment files in place instead of
+	// re-inserting rows. Off (the default), the disk backend keeps its
+	// historical per-process working-set semantics: a unique directory per
+	// table instance, no WAL, files discarded freely.
+	Durable bool
+	// WALSync is the durable mode's fsync cadence: the WAL file is synced
+	// after every N appended records. 0 means the default (64); negative
+	// means never (the write() still reaches the kernel, so rows survive
+	// SIGKILL either way — fsync only matters for power/OS loss). 1 is
+	// fsync-per-record. Ignored unless Durable.
+	WALSync int
+	// CompactSegments is the per-shard compaction trigger: when a seal
+	// leaves a shard with at least this many segment files, they are
+	// rewritten into one merged segment (one extent per column, so scans
+	// hit the single-extent fast paths). 0 means the default (8); negative
+	// disables compaction. Compaction never changes logical content or
+	// epochs; old files are deleted only after the merged segment is
+	// durable.
+	CompactSegments int
 }
 
 // defaultStorage is the storage used when a table is created without an

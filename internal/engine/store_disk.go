@@ -18,11 +18,17 @@ package engine
 // for entity resolution, so paging them would put a disk read on the
 // ingest hot path for a small fraction of the footprint.
 //
-// Durability is NOT the goal here — JSON snapshots (persist.go) remain
-// the portable, durable format. Segment files are a working set in the
-// host's native byte order (an endianness tag guards against reusing a
-// directory across architectures); a lost segment directory just means
-// rebuilding the table from its snapshot.
+// Durability: in the default (non-durable) mode segment files are a
+// per-process working set — a lost directory just means rebuilding the
+// table from its JSON snapshot (persist.go), which stays the portable
+// format either way. With StorageConfig.Durable the same files become
+// the table's crash-durable home: seals fsync, segment names come from a
+// monotonic ID persisted in the shard checkpoint (never reused, so a
+// crashed seal can't truncate-rewrite a file a checkpoint references),
+// a staged-chunk WAL covers rows not yet sealed (wal.go), and recovery
+// re-adopts the sealed files in place (recover.go). Files stay in the
+// host's native byte order in both modes (an endianness tag guards
+// against reusing a directory across architectures).
 //
 // Segment file layout (all offsets page-aligned, pageSize = 4096):
 //
@@ -85,6 +91,14 @@ type diskStore struct {
 	shardIdx int
 	segRows  int
 	useMmap  bool
+	durable  bool
+	// compactEvery is the segment-count compaction trigger (0 = off).
+	compactEvery int
+	// nextSegID names the next sealed segment file. Monotonic per shard:
+	// in durable mode it is persisted in the shard checkpoint and never
+	// reused, so a segment path can never be rewritten underneath a
+	// checkpoint (or another process's recovery) that references it.
+	nextSegID int
 
 	segs   []*segment
 	sealed int // rows covered by sealed segments
@@ -106,13 +120,15 @@ func newDiskStore(cfg StorageConfig, schema Schema, dir string, shardIdx int) (*
 		segRows = defaultSegmentRows
 	}
 	d := &diskStore{
-		storeBase: newStoreBase(),
-		schema:    schema,
-		dir:       dir,
-		shardIdx:  shardIdx,
-		segRows:   segRows,
-		useMmap:   mmapAvailable && !cfg.DisableMmap,
-		tail:      newTailCols(schema),
+		storeBase:    newStoreBase(),
+		schema:       schema,
+		dir:          dir,
+		shardIdx:     shardIdx,
+		segRows:      segRows,
+		useMmap:      mmapAvailable && !cfg.DisableMmap,
+		durable:      cfg.Durable,
+		compactEvery: resolvedCompactEvery(cfg.CompactSegments),
+		tail:         newTailCols(schema),
 	}
 	return d, nil
 }
@@ -230,9 +246,9 @@ func (d *diskStore) seal() error {
 			return fmt.Errorf("engine: shard segment string column %q too large to seal (%d bytes)", c.Name, blob)
 		}
 	}
-	path := filepath.Join(d.dir, fmt.Sprintf("shard%02d-seg%05d.seg", d.shardIdx, len(d.segs)))
+	path := filepath.Join(d.dir, segFileName(d.shardIdx, d.nextSegID))
 	raw := buildSegmentBytes(d.schema, d.tail, n)
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if err := d.writeSegmentFile(path, raw); err != nil {
 		return fmt.Errorf("engine: sealing shard segment: %w", err)
 	}
 	seg, err := openSegment(path, d.schema, d.sealed, d.useMmap)
@@ -240,11 +256,36 @@ func (d *diskStore) seal() error {
 		os.Remove(path) // best-effort: the tail still holds the rows
 		return fmt.Errorf("engine: reopening sealed segment: %w", err)
 	}
+	d.nextSegID++
 	d.segs = append(d.segs, seg)
 	d.sealed += n
 	d.tail = newTailCols(d.schema)
 	d.view.Store(nil)
 	return nil
+}
+
+func segFileName(shardIdx, segID int) string {
+	return fmt.Sprintf("shard%02d-seg%05d.seg", shardIdx, segID)
+}
+
+// writeSegmentFile writes segment bytes; in durable mode the file (and
+// its directory entry) are fsynced before the segment becomes part of
+// any checkpointable state.
+func (d *diskStore) writeSegmentFile(path string, raw []byte) error {
+	if !d.durable {
+		return os.WriteFile(path, raw, 0o644)
+	}
+	if err := writeFileSync(path, raw); err != nil {
+		return err
+	}
+	syncDir(d.dir)
+	return nil
+}
+
+// shouldCompact reports whether the shard accumulated enough sealed
+// segment files to trigger a compaction rewrite.
+func (d *diskStore) shouldCompact() bool {
+	return d.compactEvery > 0 && len(d.segs) >= d.compactEvery
 }
 
 func (d *diskStore) View() *storeView {
@@ -297,6 +338,58 @@ func (d *diskStore) Close() error {
 	d.segs = nil
 	d.view.Store(nil)
 	return firstErr
+}
+
+// openDiskStoreFromCheckpoint rebuilds a shard store from its durable
+// checkpoint: the referenced segment files are re-opened (adopted) in
+// place — no row is re-inserted — and the identity/lineage columns come
+// straight from the checkpoint. The checkpoint covers exactly the sealed
+// rows (checkpoints are never written with a nonzero tail), so adopted
+// stores start with an empty tail; WAL replay then re-stages anything
+// newer.
+func openDiskStoreFromCheckpoint(cfg StorageConfig, schema Schema, dir string, shardIdx int, ck *shardCheckpoint) (*diskStore, error) {
+	d, err := newDiskStore(cfg, schema, dir, shardIdx)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*diskStore, error) {
+		d.Close()
+		return nil, err
+	}
+	base := 0
+	for _, ref := range ck.segs {
+		seg, err := openSegment(filepath.Join(dir, ref.name), schema, base, d.useMmap)
+		if err != nil {
+			return fail(fmt.Errorf("engine: shard %d: adopting segment %s: %w", shardIdx, ref.name, err))
+		}
+		if seg.nrows != ref.nrows {
+			d.segs = append(d.segs, seg) // let Close unmap it
+			return fail(fmt.Errorf("engine: shard %d: segment %s holds %d rows, checkpoint says %d",
+				shardIdx, ref.name, seg.nrows, ref.nrows))
+		}
+		d.segs = append(d.segs, seg)
+		base += seg.nrows
+	}
+	if len(ck.ids) != base {
+		return fail(fmt.Errorf("engine: shard %d: checkpoint has %d identities for %d sealed rows",
+			shardIdx, len(ck.ids), base))
+	}
+	d.sealed = base
+	d.nextSegID = ck.nextSegID
+	d.ids = ck.ids
+	d.seqs = ck.seqs
+	d.lineage = ck.lineage
+	d.index = make(map[string]int, len(ck.ids))
+	nObs := 0
+	for i, id := range ck.ids {
+		if _, dup := d.index[id]; dup {
+			return fail(fmt.Errorf("engine: shard %d: checkpoint repeats entity %q", shardIdx, id))
+		}
+		d.index[id] = i
+		nObs += len(ck.lineage[i])
+	}
+	d.nObs = nObs
+	return d, nil
 }
 
 // checkStagedConsistentBoxed is the backend-neutral consistency check of

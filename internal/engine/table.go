@@ -142,6 +142,22 @@ type Table struct {
 	srcIDs   map[string]int32
 	srcNames []string
 	srcSnap  atomic.Pointer[map[string]int32]
+	// srcNamesSnap is the matching lock-free ID -> name snapshot, for the
+	// WAL staging path (records carry source names). It is published
+	// BEFORE srcSnap when a source is registered, so any ID resolved
+	// through srcSnap is covered by the names snapshot read afterwards.
+	srcNamesSnap atomic.Pointer[[]string]
+
+	// Durable-mode state (zero unless StorageConfig.Durable with the disk
+	// backend): uid ties snapshots to this directory's manifest, wal is
+	// the per-shard staged-row log, walApplied[si] is the highest WAL
+	// record seq applied to shard si (guarded by the shard's mu), and
+	// ckptRows[si] is the sealed row count covered by the shard's last
+	// checkpoint (also guarded by the shard's mu).
+	uid        string
+	wal        *tableWAL
+	walApplied [numShards]uint64
+	ckptRows   [numShards]int
 
 	// ingest is the batched asynchronous ingestion state: staging
 	// configuration, chunk pool, pending apply errors and counters (see
@@ -195,13 +211,26 @@ func NewTableWithStorage(name string, schema Schema, storage StorageConfig) (*Ta
 		cache:   newScanCache(defaultProgramCacheEntries, defaultBitmapCacheBytes, defaultPartialCacheBytes),
 	}
 	dir := ""
+	durable := storage.Backend == BackendDisk && storage.Durable
 	if storage.Backend == BackendDisk {
-		// Per-table-instance directory: the PID plus the process-unique id
-		// keep a dropped-and-recreated table — or a concurrent process
-		// sharing the same storage root — from colliding with another
-		// instance's segment files (seal() truncate-rewrites paths, which
-		// must never happen underneath someone else's mapping).
-		dir = filepath.Join(storage.Dir, fmt.Sprintf("%s-%d-%d", name, os.Getpid(), t.id))
+		if durable {
+			// Durable tables live at a STABLE path — <Dir>/<name> — so a
+			// restarted process finds them again (DB.RecoverTables, snapshot
+			// adoption). Creating a table is a fresh start: any previous
+			// directory contents are cleared (recover an existing durable
+			// table with DB.RecoverTables instead of re-creating it).
+			dir = filepath.Join(storage.Dir, name)
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, fmt.Errorf("engine: table %q: clearing durable directory: %w", name, err)
+			}
+		} else {
+			// Per-table-instance directory: the PID plus the process-unique
+			// id keep a dropped-and-recreated table — or a concurrent process
+			// sharing the same storage root — from colliding with another
+			// instance's segment files (seal() truncate-rewrites paths, which
+			// must never happen underneath someone else's mapping).
+			dir = filepath.Join(storage.Dir, fmt.Sprintf("%s-%d-%d", name, os.Getpid(), t.id))
+		}
 	}
 	t.storageDir = dir
 	for i := range t.shards {
@@ -217,6 +246,18 @@ func NewTableWithStorage(name string, schema Schema, storage StorageConfig) (*Ta
 		}
 		t.shards[i] = &shard{store: store}
 	}
+	if durable {
+		t.uid = newTableUID()
+		m := &tableManifest{Version: manifestVersion, Name: name, UID: t.uid, Schema: manifestSchema(schema)}
+		if err := writeTableManifest(dir, m); err != nil {
+			for _, sh := range t.shards {
+				sh.store.Close()
+			}
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("engine: table %q: writing manifest: %w", name, err)
+		}
+		t.wal = newTableWAL(dir, storage.WALSync)
+	}
 	return t, nil
 }
 
@@ -230,18 +271,141 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) StorageBackend() Backend { return t.storage.Backend }
 
 // Close releases the table's storage resources (the disk backend's
-// segment mappings; a no-op for the in-memory backend). The table must
-// not be used afterwards. Closing twice is a no-op.
+// segment mappings; a no-op for the in-memory backend). A durable table
+// additionally seals its in-memory tails and writes final shard
+// checkpoints, so a clean close recovers by pure segment adoption with
+// an empty replay; rows still sitting in staging buffers stay covered
+// by the WAL and are replayed by the next DB.RecoverTables. The table
+// must not be used afterwards. Closing twice is a no-op.
 func (t *Table) Close() error {
 	var firstErr error
-	for _, sh := range t.shards {
+	for si, sh := range t.shards {
 		sh.mu.Lock()
+		if t.wal != nil {
+			if ds, ok := sh.store.(*diskStore); ok && !ds.closed {
+				if err := ds.seal(); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("engine: %s: closing shard %d: %w", t.name, si, err)
+					}
+				} else {
+					t.checkpointShardLocked(sh, si, true)
+				}
+			}
+		}
 		if err := sh.store.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		sh.mu.Unlock()
 	}
+	if t.wal != nil {
+		if err := t.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
+}
+
+// maintainShardLocked runs post-apply housekeeping under the caller's
+// shard write lock: the store's own Maintain (disk-segment sealing),
+// compaction when the shard accumulated enough small segments, and — in
+// durable mode — the shard checkpoint plus WAL-space release that makes
+// the new sealed state the recovery point. Stale segment files replaced
+// by a compaction are deleted only once the checkpoint referencing the
+// merged file is durable (non-durable mode deletes immediately; nothing
+// references files across restarts there).
+func (t *Table) maintainShardLocked(sh *shard, si int) {
+	if err := sh.store.Maintain(); err != nil {
+		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
+	}
+	ds, ok := sh.store.(*diskStore)
+	if !ok {
+		return
+	}
+	var stale []string
+	if ds.shouldCompact() {
+		var err error
+		stale, err = ds.compact()
+		if err != nil {
+			t.recordIngestErr(fmt.Errorf("engine: %s: compacting shard %d: %w", t.name, si, err))
+		}
+	}
+	if t.checkpointShardLocked(sh, si, len(stale) > 0) {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+}
+
+// checkpointShardLocked persists the shard's durable metadata (segment
+// list, identity, lineage, WAL watermark) when the sealed state moved
+// since the last checkpoint (or force), then releases fully-applied WAL
+// space. Returns whether the CURRENT segment layout is durably
+// referenced (trivially true when durability is off). Caller holds the
+// shard's write lock.
+func (t *Table) checkpointShardLocked(sh *shard, si int, force bool) bool {
+	if t.wal == nil {
+		return true
+	}
+	ds, ok := sh.store.(*diskStore)
+	if !ok || ds.closed {
+		return true
+	}
+	if !force && ds.sealed == t.ckptRows[si] {
+		return true
+	}
+	if ds.tailRows() != 0 {
+		// A failed seal left applied rows in the tail: the checkpoint
+		// format covers sealed rows only, and the previous checkpoint plus
+		// the retained WAL still cover everything, so skip rather than
+		// write an inconsistent state.
+		if force {
+			t.recordIngestErr(fmt.Errorf("engine: %s: shard %d checkpoint skipped: %d unsealed tail rows", t.name, si, ds.tailRows()))
+		}
+		return false
+	}
+	safe := t.walSafeApplied(si)
+	ck := &shardCheckpoint{
+		walApplied: safe,
+		nextSegID:  ds.nextSegID,
+		tableSeq:   t.seq.Load(),
+		segs:       make([]segRef, len(ds.segs)),
+		srcNames:   t.sourceNameTable(),
+		ids:        ds.ids,
+		seqs:       ds.seqs,
+		lineage:    ds.lineage,
+	}
+	for i, seg := range ds.segs {
+		ck.segs[i] = segRef{name: filepath.Base(seg.path), nrows: seg.nrows}
+	}
+	if err := writeShardCheckpoint(t.storageDir, si, ck); err != nil {
+		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
+		return false
+	}
+	t.ckptRows[si] = ds.sealed
+	t.wal.shard(si).checkpoint(safe)
+	return true
+}
+
+// walSafeApplied computes the WAL watermark a checkpoint may persist:
+// the highest record seq applied to the shard, clamped below any record
+// that is still pending in staging or in an in-flight drain. Seqs are
+// assigned per record under the wal shard mutex while rows are staged
+// under the staging mutex, so an Insert can apply seq N while staged
+// seq N-1 is still waiting — persisting N would let the WAL drop the
+// unapplied N-1. Caller holds the shard's write lock (so walApplied is
+// stable); the staging mutex is taken briefly underneath it.
+func (t *Table) walSafeApplied(si int) uint64 {
+	safe := t.walApplied[si]
+	st := &t.shards[si].staging
+	st.mu.Lock()
+	if len(st.applying) > 0 && st.applying[0] <= safe {
+		safe = st.applying[0] - 1
+	}
+	if len(st.walPending) > 0 && st.walPending[0] <= safe {
+		safe = st.walPending[0] - 1
+	}
+	st.mu.Unlock()
+	return safe
 }
 
 // discardStorage is Close plus removal of the instance's segment
@@ -293,12 +457,27 @@ func (t *Table) internSource(name string) int32 {
 	id := int32(len(t.srcNames))
 	t.srcIDs[name] = id
 	t.srcNames = append(t.srcNames, name)
+	names := make([]string, len(t.srcNames))
+	copy(names, t.srcNames)
+	// Names snapshot first: a reader that resolves an ID through the map
+	// snapshot below must find the name snapshot already covering it.
+	t.srcNamesSnap.Store(&names)
 	snap := make(map[string]int32, len(t.srcIDs))
 	for k, v := range t.srcIDs {
 		snap[k] = v
 	}
 	t.srcSnap.Store(&snap)
 	return id
+}
+
+// srcNamesCovering returns a stable ID -> name slice covering at least
+// maxID: the lock-free snapshot on the hot path, the locked copy as the
+// defensive fallback.
+func (t *Table) srcNamesCovering(maxID int32) []string {
+	if p := t.srcNamesSnap.Load(); p != nil && int(maxID) < len(*p) {
+		return *p
+	}
+	return t.sourceNameTable()
 }
 
 // sourceNameTable returns a point-in-time copy of the ID -> name table.
@@ -389,7 +568,7 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 		return fmt.Errorf("engine: %s: empty source", t.name)
 	}
 	sid := t.internSource(source)
-	sh := t.shardFor(entityID)
+	si, sh := t.shardIndexFor(entityID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	st := sh.store
@@ -398,6 +577,23 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 		if err := t.validate(attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 		}
+	}
+	if t.wal != nil {
+		// Log after validation (a rejected Insert must never replay) and
+		// before applying: the record is applied within this same lock
+		// hold, so the watermark update below can never be observed early.
+		// An existing entity gets a lineage-only record (all cells
+		// missing) — replay is first-wins like apply, so the values can't
+		// compete with the stored row. A WAL write failure degrades
+		// durability for this row, not availability: it is recorded for
+		// the next Flush and the insert proceeds.
+		if seq, werr := t.wal.appendInsert(si, t.schema, entityID, source, attrs, !exists); werr != nil {
+			t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, werr))
+		} else if seq > t.walApplied[si] {
+			t.walApplied[si] = seq
+		}
+	}
+	if !exists {
 		row = st.AppendEntity(entityID, t.seq.Add(1), func(ci int) (sqlparse.Value, bool) {
 			v, ok := attrs[t.schema[ci].Name]
 			return v, ok
@@ -418,9 +614,7 @@ func (t *Table) Insert(entityID, source string, attrs map[string]sqlparse.Value)
 	// callers miscount a successful insert as a failed one. Like the
 	// batched path, the condition is recorded and surfaced by the table's
 	// next Flush.
-	if err := st.Maintain(); err != nil {
-		t.recordIngestErr(fmt.Errorf("engine: %s: %w", t.name, err))
-	}
+	t.maintainShardLocked(sh, si)
 	if exists {
 		if err := t.checkConsistent(st, row, attrs); err != nil {
 			return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)

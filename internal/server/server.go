@@ -20,9 +20,11 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +67,9 @@ type Config struct {
 	// write <tenant>.json files — and where tenant state is restored from
 	// on a tenant's first request after a restart.
 	SnapshotDir string
+	// Logger receives operational log lines (tenant recovery, shutdown
+	// drain outcomes). Nil means log.Default().
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +140,15 @@ func New(cfg Config) *Server {
 	}
 	s.routes()
 	return s
+}
+
+// logf writes one operational log line via the configured logger.
+func (s *Server) logf(format string, args ...any) {
+	l := s.cfg.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf(format, args...)
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -235,6 +249,20 @@ func (s *Server) openTenantDB(name string) (*engine.DB, error) {
 			}
 		}
 	}
+	// Durable disk tables not covered by the snapshot (including everything
+	// after a crash, when no shutdown Save ran) are recovered straight from
+	// their storage directories: segments adopted in place, WAL replayed.
+	// Load runs first so snapshot tables with matching on-disk state adopt
+	// through it; RecoverTables skips names that are already registered.
+	recovered, err := db.RecoverTables()
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("server: recovering tenant %q: %w", name, err)
+	}
+	if len(recovered) > 0 {
+		s.logf("server: tenant %q: recovered %d durable table(s) from disk: %s",
+			name, len(recovered), strings.Join(recovered, ", "))
+	}
 	return db, nil
 }
 
@@ -292,10 +320,14 @@ func (s *Server) BeginShutdown() {
 	s.cancel()
 }
 
-// closeTenants saves and closes every tenant. Save runs before Close and
-// drains each table's ingestion staging itself, so rows that reached a
-// Writer flush are in the snapshot; Close then stops the appliers and
-// releases storage.
+// closeTenants saves and closes every tenant, logging each tenant's
+// drain outcome. Save runs before Close and drains each table's
+// ingestion staging itself, so rows that reached a Writer flush are in
+// the snapshot. Close ALWAYS runs, even when Save fails: Close stops the
+// background appliers and flushes their staged rows into the tables (and
+// checkpoints durable ones), so skipping it on a failed Save would throw
+// away exactly the rows a broken snapshot already failed to capture. A
+// Save failure is logged and reported, never silently swallowed.
 func (s *Server) closeTenants(ctx context.Context) error {
 	s.mu.Lock()
 	tenants := s.tenants
@@ -307,15 +339,29 @@ func (s *Server) closeTenants(ctx context.Context) error {
 			return err
 		}
 		t.catalog.Lock()
+		saved := "clean"
 		if s.cfg.SnapshotDir != "" && t.dirty.Load() {
-			if err := s.saveTenantLocked(t); err != nil && firstErr == nil {
-				firstErr = err
+			if err := s.saveTenantLocked(t); err != nil {
+				saved = "save FAILED"
+				s.logf("server: tenant %q: snapshot save failed: %v", name, err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("server: saving tenant %q: %w", name, err)
+				}
+			} else {
+				saved = "saved"
 			}
 		}
-		if err := t.db.Close(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("server: closing tenant %q: %w", name, err)
-		}
+		closeErr := t.db.Close()
 		t.catalog.Unlock()
+		if closeErr != nil {
+			s.logf("server: tenant %q: drain: %s, close failed: %v", name, saved, closeErr)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: closing tenant %q: %w", name, closeErr)
+			}
+			continue
+		}
+		s.logf("server: tenant %q: drained (%s, %d queries, %d rows ingested)",
+			name, saved, t.queries.Load(), t.rows.Load())
 	}
 	return firstErr
 }
