@@ -425,6 +425,8 @@ func printCacheStats(db *engine.DB, tbl *engine.Table, enabled bool) {
 		s.PartialHits, s.PartialMisses, s.PartialBytes, s.PartialEvictions)
 	fmt.Printf("           sample filters %d hits / %d misses (per-query bucket sub-range sharing)\n",
 		s.FilterHits, s.FilterMisses)
+	fmt.Printf("           string dicts %d entries (%d bytes resident)\n",
+		s.DictEntries, s.DictBytes)
 }
 
 // saveSnapshot writes the database to path when set.

@@ -83,6 +83,15 @@ type CacheStats struct {
 	// estimator passes vs built fresh. Unlike the other layers the cache
 	// itself lives only for one query; the counters accumulate on the DB.
 	FilterHits, FilterMisses uint64
+	// DictEntries/DictBytes snapshot the string-dictionary footprint: the
+	// total cardinality (distinct interned strings, summed over shards —
+	// every shard pre-interns the empty string) and the resident bytes of
+	// the interned string data. Not a cache — dictionaries are append-only
+	// and never evict — but they are resident memory the dictionary
+	// encoding trades for the scan speedup, so they report alongside the
+	// cache budgets.
+	DictEntries int
+	DictBytes   int64
 }
 
 // add accumulates other into s (for DB-level aggregation).
@@ -103,6 +112,8 @@ func (s *CacheStats) add(other CacheStats) {
 	s.ResultBytes += other.ResultBytes
 	s.FilterHits += other.FilterHits
 	s.FilterMisses += other.FilterMisses
+	s.DictEntries += other.DictEntries
+	s.DictBytes += other.DictBytes
 }
 
 // filterKey canonicalizes a predicate for cache keys. Expr.String renders

@@ -35,27 +35,13 @@ func (d *diskStore) compact() (stalePaths []string, err error) {
 		return nil, nil
 	}
 	n := d.sealed
-	// The merged segment must respect the same uint32 string-offset bound
-	// as any seal. A shard whose total blob exceeds it keeps its current
-	// segments (scans still work, just multi-extent).
-	for ci, c := range d.schema {
-		if c.Type != TypeString {
-			continue
-		}
-		blob := 0
-		for _, seg := range d.segs {
-			e := &seg.cols[ci]
-			blob += len(e.strBlob)
-			for i := range e.strs {
-				blob += len(e.strs[i])
-			}
-		}
-		if blob > maxSegStringBlob {
-			return nil, nil
-		}
-	}
-
-	cols := newTailCols(d.schema)
+	// Merged string columns re-code into a compaction-local dictionary (the
+	// shard dictionary stays untouched — adopted segments may hold strings
+	// the live dictionary never saw, and a rewrite is not a mutation). Each
+	// source segment contributes via one dictionary-sized remap table (v2)
+	// or a per-row intern (v1 files, upgraded to v2 here).
+	local := newStringDict()
+	cols := newTailCols(d.schema, local)
 	for ci, c := range d.schema {
 		col := &cols[ci]
 		col.defined.grow(n)
@@ -64,7 +50,7 @@ func (d *diskStore) compact() (stalePaths []string, err error) {
 		case TypeFloat:
 			col.floats = make([]float64, 0, n)
 		case TypeString:
-			col.strs = make([]string, 0, n)
+			col.codes = make([]uint32, 0, n)
 		case TypeBool:
 			col.bools = make([]bool, 0, n)
 		}
@@ -74,8 +60,18 @@ func (d *diskStore) compact() (stalePaths []string, err error) {
 			case TypeFloat:
 				col.floats = append(col.floats, e.floats[:e.n]...)
 			case TypeString:
-				for i := 0; i < e.n; i++ {
-					col.strs = append(col.strs, e.str(i))
+				if e.codes != nil {
+					remap := make([]uint32, len(e.dict))
+					for sc, s := range e.dict {
+						remap[sc] = local.intern(s)
+					}
+					for _, sc := range e.codes[:e.n] {
+						col.codes = append(col.codes, remap[sc])
+					}
+				} else {
+					for i := 0; i < e.n; i++ {
+						col.codes = append(col.codes, local.intern(e.str(i)))
+					}
 				}
 			case TypeBool:
 				for i := 0; i < e.n; i++ {
@@ -92,9 +88,16 @@ func (d *diskStore) compact() (stalePaths []string, err error) {
 			}
 		}
 	}
+	dicts, err := planSegDicts(d.schema, cols, n)
+	if err != nil {
+		// The merged dictionary would overflow the uint32 offset bound. A
+		// shard this wide keeps its current segments (scans still work, just
+		// multi-extent) — same fail-safe posture as before, post-merge.
+		return nil, nil
+	}
 
 	path := filepath.Join(d.dir, segFileName(d.shardIdx, d.nextSegID))
-	raw := buildSegmentBytes(d.schema, cols, n)
+	raw := buildSegmentBytes(d.schema, cols, n, dicts)
 	if err := d.writeSegmentFile(path, raw); err != nil {
 		return nil, fmt.Errorf("engine: writing compacted segment: %w", err)
 	}

@@ -1,0 +1,181 @@
+package engine
+
+// Per-shard string dictionaries. Every string column of a shard stores
+// uint32 codes into one shared, append-only stringDict owned by the
+// shard's store; the dictionary lives for the table's lifetime (staged
+// chunks hold codes that must stay meaningful across seals and
+// compactions, so codes are never recycled).
+//
+// Concurrency follows the internSource copy-on-write pattern: interning
+// first consults a lock-free published lookup snapshot and only takes
+// the dictionary mutex for strings it has never seen. The code->string
+// table is published as an immutable slice header on every growth, so
+// readers index it without any synchronization; because the dictionary
+// is append-only, a header captured at view-build time stays valid for
+// every code the view can contain.
+//
+// Predicate compilation wants string ORDER, not just identity: the
+// sorted-view lookaside (dictSorted) caches the dictionary's codes in
+// ascending string order plus the inverse rank table, so range
+// predicates become rank-interval tests and membership predicates become
+// rank-bitset tests (filter.go). Sealed segments write their dictionary
+// pre-sorted — segment code order IS string order — so their extents use
+// the identity rank (dictSorted is a live-dictionary concern only).
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stringDict is one shard's append-only string dictionary.
+type stringDict struct {
+	mu  sync.Mutex
+	idx map[string]uint32 // authoritative string -> code, guarded by mu
+
+	// vals is the published code -> string table: always current, safe to
+	// index lock-free up to its length (append-only prefix immutability).
+	vals atomic.Pointer[[]string]
+	// lookup is the lock-free intern snapshot, republished when the
+	// dictionary doubles (total copy work O(cardinality)). Strings interned
+	// since the last republish miss it and take mu.
+	lookup atomic.Pointer[map[string]uint32]
+	pubAt  int // idx size at the last lookup republish, guarded by mu
+
+	// sorted caches the most recent sorted view (see sortedView).
+	sorted atomic.Pointer[dictSorted]
+
+	bytes atomic.Int64 // resident bytes: sum of interned string lengths
+}
+
+// dictEmptyCode is the code of the empty string, pre-interned by every
+// dictionary: rows that never provided the column (or provided NULL)
+// store it as their placeholder, so every code cell — including ones the
+// defined/valid bitmaps exclude — indexes safely into the code -> string
+// table. The branch-free kernels rely on that: they translate all 64
+// codes of a word before masking.
+const dictEmptyCode = uint32(0)
+
+func newStringDict() *stringDict {
+	d := &stringDict{idx: map[string]uint32{"": dictEmptyCode}, pubAt: 1}
+	vals := []string{""}
+	d.vals.Store(&vals)
+	snap := map[string]uint32{"": dictEmptyCode}
+	d.lookup.Store(&snap)
+	return d
+}
+
+// intern returns the code for s, assigning the next code on first sight.
+// Safe for concurrent use; the hot path (a string seen before the last
+// snapshot republish) is one lock-free map hit.
+func (d *stringDict) intern(s string) uint32 {
+	if m := d.lookup.Load(); m != nil {
+		if c, ok := (*m)[s]; ok {
+			return c
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c := uint32(len(d.idx))
+	d.idx[s] = c
+	grown := append(*d.vals.Load(), s)
+	d.vals.Store(&grown)
+	d.bytes.Add(int64(len(s)))
+	if n := len(d.idx); n >= 2*d.pubAt {
+		snap := make(map[string]uint32, 2*n)
+		for k, v := range d.idx {
+			snap[k] = v
+		}
+		d.lookup.Store(&snap)
+		d.pubAt = n
+	}
+	return c
+}
+
+// valsView returns the current code -> string table. The returned slice
+// is immutable; codes written to any store before the caller obtained its
+// view are always covered.
+func (d *stringDict) valsView() []string {
+	return *d.vals.Load()
+}
+
+// stats returns the dictionary's cardinality and resident string bytes.
+func (d *stringDict) stats() (entries int, bytes int64) {
+	return len(d.valsView()), d.bytes.Load()
+}
+
+// dictSorted is a point-in-time sorted view of a live dictionary: the
+// first n codes ordered by their strings. rank maps code -> position in
+// sortedVals. A view built over a superset of the codes an extent holds
+// is still exact for that extent — extra entries only insert extra ranks,
+// and every rank comparison stays consistent.
+type dictSorted struct {
+	n          int
+	rank       []uint32 // code -> index into sortedVals
+	sortedVals []string // dictionary strings in ascending order
+}
+
+// sortedView returns a sorted view covering at least the first n codes,
+// reusing the cached one when it is already wide enough. Rebuilds run
+// without the dictionary mutex (the vals table is immutable) and publish
+// via CAS; racing rebuilds both produce valid views and the wider one
+// wins.
+func (d *stringDict) sortedView(n int) *dictSorted {
+	if sv := d.sorted.Load(); sv != nil && sv.n >= n {
+		return sv
+	}
+	vals := d.valsView()
+	sv := buildDictSorted(vals)
+	for {
+		cur := d.sorted.Load()
+		if cur != nil && cur.n >= sv.n {
+			return cur
+		}
+		if d.sorted.CompareAndSwap(cur, sv) {
+			return sv
+		}
+	}
+}
+
+func buildDictSorted(vals []string) *dictSorted {
+	n := len(vals)
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+	rank := make([]uint32, n)
+	sortedVals := make([]string, n)
+	for r, c := range order {
+		rank[c] = uint32(r)
+		sortedVals[r] = vals[c]
+	}
+	return &dictSorted{n: n, rank: rank, sortedVals: sortedVals}
+}
+
+// dictLowerBound returns the number of sorted dictionary strings < s.
+func dictLowerBound(sortedVals []string, s string) uint32 {
+	return uint32(sort.SearchStrings(sortedVals, s))
+}
+
+// dictUpperBound returns the number of sorted dictionary strings <= s.
+func dictUpperBound(sortedVals []string, s string) uint32 {
+	return uint32(sort.Search(len(sortedVals), func(i int) bool { return sortedVals[i] > s }))
+}
+
+// dictPrefixBounds returns the half-open rank interval of dictionary
+// strings having the given prefix.
+func dictPrefixBounds(sortedVals []string, prefix string) (lo, hi uint32) {
+	cut := func(s string) string {
+		if len(s) > len(prefix) {
+			return s[:len(prefix)]
+		}
+		return s
+	}
+	lo = uint32(sort.Search(len(sortedVals), func(i int) bool { return cut(sortedVals[i]) >= prefix }))
+	hi = uint32(sort.Search(len(sortedVals), func(i int) bool { return cut(sortedVals[i]) > prefix }))
+	return lo, hi
+}

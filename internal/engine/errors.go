@@ -44,6 +44,12 @@ var (
 	// errors.Is: the concrete error is a *ParseError carrying the
 	// sqlparse message verbatim.
 	ErrParse = errors.New("invalid SQL")
+
+	// ErrSegmentLimit reports a disk-tier segment that cannot be written
+	// because a string column's dictionary would overflow the format's
+	// uint32 offset bound. The rows stay served from memory (fail safe);
+	// the caller can split the load into smaller batches.
+	ErrSegmentLimit = errors.New("segment limit exceeded")
 )
 
 // ParseError wraps a SQL front-end error (sqlparse.Parse and friends) so

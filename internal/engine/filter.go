@@ -118,7 +118,8 @@ func compileNode(schema Schema, colIdx map[string]int, e sqlparse.Expr) (filterN
 		}
 		node := &inNode{v: v, items: items, negate: x.Negate}
 		// FLOAT column IN (numeric literals...) takes the word kernel; the
-		// constants are unboxed once at compile time.
+		// constants are unboxed once at compile time. STRING columns get the
+		// same treatment against all-string lists (rank-bitset kernel).
 		if v.isFloatCol() {
 			consts := make([]float64, 0, len(items))
 			fast := true
@@ -133,13 +134,31 @@ func compileNode(schema Schema, colIdx map[string]int, e sqlparse.Expr) (filterN
 				node.floatConsts, node.floatFast = consts, true
 			}
 		}
+		if v.isStrCol() {
+			consts := make([]string, 0, len(items))
+			fast := true
+			for i := range items {
+				if items[i].isCol || items[i].lit.Kind != sqlparse.ValueString {
+					fast = false
+					break
+				}
+				consts = append(consts, items[i].lit.Str)
+			}
+			if fast {
+				node.strConsts, node.strFast = consts, true
+			}
+		}
 		return node, nil
 	case sqlparse.Like:
 		v, err := compileOperand(schema, colIdx, x.Expr)
 		if err != nil {
 			return nil, err
 		}
-		return &likeNode{v: v, pattern: x.Pattern, negate: x.Negate}, nil
+		node := &likeNode{v: v, pattern: x.Pattern, negate: x.Negate}
+		if v.isStrCol() {
+			node.plan = planLike(x.Pattern)
+		}
+		return node, nil
 	case sqlparse.IsNull:
 		v, err := compileOperand(schema, colIdx, x.Expr)
 		if err != nil {
@@ -363,6 +382,15 @@ func (n *cmpNode) eval(v *storeView, sel, out *bitmap) error {
 	}
 	if n.right.isFloatCol() && !n.left.isCol && n.left.lit.Kind == sqlparse.ValueNumber {
 		return evalFloatCmp(v, sel, out, &n.right, n.op, n.left.lit.Num, true)
+	}
+	// STRING column vs string literal: rank-interval word kernel over the
+	// column's dictionary codes (filter_string.go). Gated on the literal
+	// being a string so mixed-kind comparisons keep their per-row errors.
+	if n.left.isStrCol() && !n.right.isCol && n.right.lit.Kind == sqlparse.ValueString {
+		return evalStrCmp(v, sel, out, &n.left, n.op, n.right.lit.Str, false)
+	}
+	if n.right.isStrCol() && !n.left.isCol && n.left.lit.Kind == sqlparse.ValueString {
+		return evalStrCmp(v, sel, out, &n.right, n.op, n.left.lit.Str, true)
 	}
 	return sel.forEach(func(row int) error {
 		l, err := n.left.value(v, row)
@@ -678,6 +706,19 @@ func (n *betweenNode) eval(sv *storeView, sel, out *bitmap) error {
 		return evalFloatMembership(sv, sel, out, &n.v, n.negate,
 			func(vals []float64) uint64 { return betweenFloatWord(vals, n.lo.lit.Num, n.hi.lit.Num) })
 	}
+	// STRING column BETWEEN string literals: the bound pair becomes one
+	// rank interval per extent dictionary.
+	if n.v.isStrCol() &&
+		!n.lo.isCol && n.lo.lit.Kind == sqlparse.ValueString &&
+		!n.hi.isCol && n.hi.lit.Kind == sqlparse.ValueString {
+		loLit, hiLit := n.lo.lit.Str, n.hi.lit.Str
+		return evalStrMembership(sv, sel, out, &n.v, n.negate,
+			func(rank []uint32, sortedVals []string) func([]uint32) uint64 {
+				lo, hi := dictLowerBound(sortedVals, loLit), dictUpperBound(sortedVals, hiLit)
+				return func(codes []uint32) uint64 { return codeRangeWord(codes, rank, lo, hi) }
+			},
+			func(s string) bool { return s >= loLit && s <= hiLit })
+	}
 	return sel.forEach(func(row int) error {
 		v, err := n.v.value(sv, row)
 		if err != nil {
@@ -715,15 +756,40 @@ type inNode struct {
 	items  []operand
 	negate bool
 	// floatFast marks a FLOAT column tested against all-numeric literals;
-	// floatConsts are those literals unboxed at compile time.
+	// floatConsts are those literals unboxed at compile time. strFast /
+	// strConsts are the string-column twin.
 	floatFast   bool
 	floatConsts []float64
+	strFast     bool
+	strConsts   []string
 }
 
 func (n *inNode) eval(sv *storeView, sel, out *bitmap) error {
 	if n.floatFast {
 		return evalFloatMembership(sv, sel, out, &n.v, n.negate,
 			func(vals []float64) uint64 { return inFloatWord(vals, n.floatConsts) })
+	}
+	if n.strFast {
+		return evalStrMembership(sv, sel, out, &n.v, n.negate,
+			func(rank []uint32, sortedVals []string) func([]uint32) uint64 {
+				// Resolve each literal to its exact rank; absent literals set
+				// no bit, so the bitset IS the membership set.
+				set := make([]uint64, (len(sortedVals)+63)/64+1)
+				for _, c := range n.strConsts {
+					if r := dictLowerBound(sortedVals, c); int(r) < len(sortedVals) && sortedVals[r] == c {
+						set[r>>6] |= 1 << (r & 63)
+					}
+				}
+				return func(codes []uint32) uint64 { return codeSetWord(codes, rank, set) }
+			},
+			func(s string) bool {
+				for _, c := range n.strConsts {
+					if s == c {
+						return true
+					}
+				}
+				return false
+			})
 	}
 	return sel.forEach(func(row int) error {
 		v, err := n.v.value(sv, row)
@@ -759,9 +825,15 @@ type likeNode struct {
 	v       operand
 	pattern string
 	negate  bool
+	// plan is the compile-time dictionary fast-path classification
+	// (filter_string.go); only meaningful when v is a string column.
+	plan likePlan
 }
 
 func (n *likeNode) eval(sv *storeView, sel, out *bitmap) error {
+	if n.plan.fast && n.v.isStrCol() {
+		return evalStrLike(sv, sel, out, &n.v, n.plan, n.pattern, n.negate)
+	}
 	return sel.forEach(func(row int) error {
 		v, err := n.v.value(sv, row)
 		if err != nil {

@@ -81,21 +81,25 @@ const (
 // value hold the zero placeholder to stay row-aligned) plus a per-row
 // state byte. Staying typed end to end keeps staging free of boxed
 // sqlparse.Value copies and lets the apply side compare and append
-// without interface or map traffic; string cells keep the caller's
-// string (no re-materialization when the row becomes a new record).
+// without interface or map traffic. String cells carry BOTH the caller's
+// string (the WAL writes strings, keeping the log format independent of
+// dictionary state) and its code in the target shard's dictionary,
+// interned at stage time so the apply side is a plain uint32 append.
 // Vectors are pre-sized to the fixed chunk capacity, so staging a cell is
 // an indexed write with no append bookkeeping.
 type stagedCol struct {
 	typ    ColumnType
 	floats []float64
 	strs   []string
+	codes  []uint32
 	bools  []bool
 	state  []byte
 }
 
 // setCell stages one cell at row n. v is only read when provided; the
-// caller has already type-checked it (kind matches or NULL).
-func (sc *stagedCol) setCell(n int, v sqlparse.Value, provided bool) {
+// caller has already type-checked it (kind matches or NULL). dict is the
+// target shard's dictionary (string columns only; may be nil otherwise).
+func (sc *stagedCol) setCell(n int, v sqlparse.Value, provided bool, dict *stringDict) {
 	st := stagedValue
 	if !provided {
 		st = stagedMissing
@@ -112,10 +116,13 @@ func (sc *stagedCol) setCell(n int, v sqlparse.Value, provided bool) {
 		sc.floats[n] = x
 	case TypeString:
 		var x string
+		code := dictEmptyCode
 		if st == stagedValue {
 			x = v.Str
+			code = dict.intern(x)
 		}
 		sc.strs[n] = x
+		sc.codes[n] = code
 	case TypeBool:
 		var x bool
 		if st == stagedValue {
@@ -184,6 +191,7 @@ func (c *obsChunk) init(schema Schema) {
 			sc.floats = make([]float64, defaultBatchRows)
 		case TypeString:
 			sc.strs = make([]string, defaultBatchRows)
+			sc.codes = make([]uint32, defaultBatchRows)
 		case TypeBool:
 			sc.bools = make([]bool, defaultBatchRows)
 		}
@@ -205,8 +213,10 @@ func (c *obsChunk) reset() {
 // stageRowPositional validates and stages one positional row (one value
 // per schema column; all columns provided) in a single typed pass.
 // Nothing is staged on error: cells are written at row index n, which is
-// only committed (n++) after the whole row validated.
-func (c *obsChunk) stageRowPositional(schema Schema, id string, src int32, vals []sqlparse.Value) error {
+// only committed (n++) after the whole row validated (a string interned
+// before a later column fails stays in the dictionary, harmlessly).
+// dict is the target shard's dictionary.
+func (c *obsChunk) stageRowPositional(schema Schema, id string, src int32, vals []sqlparse.Value, dict *stringDict) error {
 	n := c.n
 	for ci := range c.cols {
 		sc := &c.cols[ci]
@@ -226,15 +236,18 @@ func (c *obsChunk) stageRowPositional(schema Schema, id string, src int32, vals 
 			sc.floats[n] = x
 		case TypeString:
 			var x string
+			code := dictEmptyCode
 			switch v.Kind {
 			case sqlparse.ValueString:
 				x = v.Str
+				code = dict.intern(x)
 			case sqlparse.ValueNull:
 				st = stagedNull
 			default:
 				return typeErr(schema[ci], *v)
 			}
 			sc.strs[n] = x
+			sc.codes[n] = code
 		case TypeBool:
 			var x bool
 			switch v.Kind {
@@ -260,15 +273,16 @@ func typeErr(c Column, v sqlparse.Value) error {
 }
 
 // stageRowAttrs validates (via the same Table.validate as Insert) and
-// stages one map-shaped row. Nothing is staged on error.
-func (c *obsChunk) stageRowAttrs(t *Table, id string, src int32, attrs map[string]sqlparse.Value) error {
+// stages one map-shaped row. Nothing is staged on error. dict is the
+// target shard's dictionary.
+func (c *obsChunk) stageRowAttrs(t *Table, id string, src int32, attrs map[string]sqlparse.Value, dict *stringDict) error {
 	if err := t.validate(attrs); err != nil {
 		return err
 	}
 	n := c.n
 	for ci := range c.cols {
 		v, ok := attrs[t.schema[ci].Name]
-		c.cols[ci].setCell(n, v, ok)
+		c.cols[ci].setCell(n, v, ok, dict)
 	}
 	c.ids[n] = id
 	c.srcs[n] = src
@@ -457,7 +471,7 @@ func (t *Table) Append(entityID, source string, attrs map[string]sqlparse.Value)
 	st := &sh.staging
 	st.mu.Lock()
 	c := t.openChunk(st)
-	if err := c.stageRowAttrs(t, entityID, sid, attrs); err != nil {
+	if err := c.stageRowAttrs(t, entityID, sid, attrs, sh.store.Dict()); err != nil {
 		st.mu.Unlock()
 		return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 	}
@@ -513,7 +527,7 @@ func (t *Table) AppendRow(entityID, source string, vals []sqlparse.Value) error 
 	st := &sh.staging
 	st.mu.Lock()
 	c := t.openChunk(st)
-	if err := c.stageRowPositional(t.schema, entityID, sid, vals); err != nil {
+	if err := c.stageRowPositional(t.schema, entityID, sid, vals, sh.store.Dict()); err != nil {
 		st.mu.Unlock()
 		return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 	}
@@ -835,9 +849,9 @@ func (w *Writer) Append(entityID, source string, attrs map[string]sqlparse.Value
 		return err
 	}
 	sid := w.internMemo(source)
-	si, _ := t.shardIndexFor(entityID)
+	si, sh := t.shardIndexFor(entityID)
 	c := w.chunk(si)
-	if err := c.stageRowAttrs(t, entityID, sid, attrs); err != nil {
+	if err := c.stageRowAttrs(t, entityID, sid, attrs, sh.store.Dict()); err != nil {
 		return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 	}
 	if c.rows() >= w.push {
@@ -857,9 +871,9 @@ func (w *Writer) AppendRow(entityID, source string, vals []sqlparse.Value) error
 		return fmt.Errorf("engine: %s: AppendRow got %d values for %d columns", t.name, len(vals), len(t.schema))
 	}
 	sid := w.internMemo(source)
-	si, _ := t.shardIndexFor(entityID)
+	si, sh := t.shardIndexFor(entityID)
 	c := w.chunk(si)
-	if err := c.stageRowPositional(t.schema, entityID, sid, vals); err != nil {
+	if err := c.stageRowPositional(t.schema, entityID, sid, vals, sh.store.Dict()); err != nil {
 		return fmt.Errorf("engine: %s: entity %q: %w", t.name, entityID, err)
 	}
 	if c.rows() >= w.push {

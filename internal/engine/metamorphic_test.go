@@ -215,6 +215,16 @@ func querySurface(t *testing.T, want, got *DB, label string) {
 		"name LIKE 'e1%'",
 		"grp = 'g0' OR v > 100",
 		"NOT (v < 30)",
+		// String-heavy shapes: every dictionary fast path (code-range,
+		// code-set, negated membership with its NULL-keeping semantics,
+		// prefix LIKE) must stay bitwise-identical across storage backends,
+		// write interleavings, and warm-vs-cold cache states.
+		"name BETWEEN 'e05' AND 'e25'",
+		"name NOT BETWEEN 'e10' AND 'e30'",
+		"grp IN ('g0', 'g2', 'nope')",
+		"grp NOT IN ('g1')",
+		"name >= 'e20' AND grp != 'g1'",
+		"name NOT LIKE 'e1%'",
 	}
 	for _, p := range preds {
 		var expr sqlparse.Expr
@@ -267,6 +277,8 @@ func querySurface(t *testing.T, want, got *DB, label string) {
 		"SELECT SUM(v) FROM t",
 		"SELECT COUNT(*) FROM t WHERE v >= 50",
 		"SELECT AVG(v) FROM t GROUP BY grp",
+		"SELECT COUNT(*) FROM t WHERE grp != 'g1' AND name BETWEEN 'e05' AND 'e25'",
+		"SELECT SUM(v) FROM t WHERE name IN ('e01', 'e07', 'e19') GROUP BY grp",
 	} {
 		wr, err := want.Query(q)
 		if err != nil {

@@ -158,6 +158,10 @@ func recoverTable(name string, storage StorageConfig) (*Table, error) {
 			return nil, err
 		}
 		t.wal.shard(si).adoptRecovered(wst, t.walApplied[si])
+		// Replay re-interns every string in staging order through the same
+		// shard dictionary the original run used, so replayed rows get
+		// exactly the codes a clean run would have assigned.
+		dict := t.shards[si].store.Dict()
 		var chunks []*obsChunk
 		var seqs []uint64
 		var cur *obsChunk
@@ -174,7 +178,7 @@ func recoverTable(name string, storage StorageConfig) (*Table, error) {
 				cur.ids[n] = rec.ids[r]
 				cur.srcs[n] = t.internSource(rec.srcs[r])
 				for ci := range schema {
-					copyRecoveredCell(&cur.cols[ci], &rec.cols[ci], r, n)
+					copyRecoveredCell(&cur.cols[ci], &rec.cols[ci], r, n, dict)
 				}
 				cur.n = n + 1
 			}
@@ -206,8 +210,9 @@ func recoverTable(name string, storage StorageConfig) (*Table, error) {
 }
 
 // copyRecoveredCell copies one decoded WAL cell into a staging chunk
-// column (both sides share the stagedCol layout).
-func copyRecoveredCell(dst, src *stagedCol, srcRow, dstRow int) {
+// column (both sides share the stagedCol layout; the WAL carries strings,
+// so string cells re-intern through the shard dictionary here).
+func copyRecoveredCell(dst, src *stagedCol, srcRow, dstRow int, dict *stringDict) {
 	st := src.state[srcRow]
 	dst.state[dstRow] = st
 	switch dst.typ {
@@ -219,10 +224,13 @@ func copyRecoveredCell(dst, src *stagedCol, srcRow, dstRow int) {
 		dst.floats[dstRow] = x
 	case TypeString:
 		var x string
+		code := dictEmptyCode
 		if st == stagedValue {
 			x = src.strs[srcRow]
+			code = dict.intern(x)
 		}
 		dst.strs[dstRow] = x
+		dst.codes[dstRow] = code
 	case TypeBool:
 		var x bool
 		if st == stagedValue {

@@ -206,6 +206,13 @@ type ShardStore interface {
 	// held.
 	View() *storeView
 
+	// Dict returns the shard's string dictionary — the append-only intern
+	// table every string column of the store codes into. Unlike the rest
+	// of the store it IS internally synchronized (interning happens on the
+	// staging path, before the shard lock), and the store pointer is
+	// immutable for the table's lifetime, so stagers read it lock-free.
+	Dict() *stringDict
+
 	// Backend identifies the implementation (for stats and tooling).
 	Backend() Backend
 
@@ -238,17 +245,27 @@ type colView struct {
 }
 
 // colExtent is one contiguous run of column storage. Exactly one of the
-// two representations per type is populated: live Go slices (memory
-// backend and the disk tail) or the page-formatted views (mmap'd / heap-
-// loaded disk segments). Bit i of defined/valid is extent-relative.
+// representations per type is populated: live Go slices (memory backend
+// and the disk tail), the dictionary-coded views (live string vectors and
+// v2 segments), or the v1 offset+blob string view retained for old
+// segment files. Bit i of defined/valid is extent-relative.
 type colExtent struct {
 	base int // first global row covered by the extent
 	n    int
 
 	floats []float64 // both representations (disk floats are mmap-backed)
 
-	strs    []string // live representation
-	strOff  []uint32 // segment representation: n+1 offsets into strBlob
+	// Dictionary-coded strings: codes[i] indexes dict. Live extents carry
+	// the owning shard dictionary in sdict (its sorted view drives the
+	// rank-space kernels) and a point-in-time dict snapshot covering every
+	// code in the extent; v2 segment extents leave sdict nil — their dict
+	// is written sorted, so code order IS string order and the rank table
+	// is the identity.
+	codes []uint32
+	dict  []string
+	sdict *stringDict
+
+	strOff  []uint32 // v1 segment representation: n+1 offsets into strBlob
 	strBlob []byte
 
 	bools     []bool // live representation
@@ -277,14 +294,30 @@ func (e *colExtent) tailMask() uint64 {
 	return ^uint64(0)
 }
 
-// str returns the string cell at extent-relative row i. Segment-backed
-// strings are materialized on access (string predicates and group keys
+// str returns the string cell at extent-relative row i. Dictionary-coded
+// extents index the materialized code table; v1 segment strings are
+// materialized from the blob on access (string predicates and group keys
 // are off the hot float path).
 func (e *colExtent) str(i int) string {
-	if e.strs != nil {
-		return e.strs[i]
+	if e.codes != nil {
+		return e.dict[e.codes[i]]
 	}
 	return string(e.strBlob[e.strOff[i]:e.strOff[i+1]])
+}
+
+// dictOrder returns the extent's dictionary in string order plus the
+// code -> rank translation the string kernels compare in. A nil rank is
+// the identity: segment dictionaries are written sorted, so their codes
+// already ARE ranks. Live extents consult the shard dictionary's sorted
+// view, which may cover codes beyond this extent's snapshot — extra
+// entries only insert extra ranks, so every interval test stays exact.
+// Only meaningful when e.codes != nil.
+func (e *colExtent) dictOrder() (rank []uint32, sortedVals []string) {
+	if e.sdict != nil {
+		sv := e.sdict.sortedView(len(e.dict))
+		return sv.rank, sv.sortedVals
+	}
+	return nil, e.dict
 }
 
 // boolAt returns the bool cell at extent-relative row i.
@@ -358,10 +391,16 @@ type storeBase struct {
 	lineage [][]int32
 	nObs    int
 	epoch   uint64
+
+	// dict is the shard's string dictionary (see dict.go). Owned here so
+	// both backends share one per shard: the memStore column vectors, the
+	// disk tail and the staging path all intern into it, and staged codes
+	// stay meaningful across seals and compactions.
+	dict *stringDict
 }
 
 func newStoreBase() storeBase {
-	return storeBase{index: make(map[string]int)}
+	return storeBase{index: make(map[string]int), dict: newStringDict()}
 }
 
 func (s *storeBase) Rows() int     { return len(s.ids) }
@@ -377,6 +416,7 @@ func (s *storeBase) Lookup(entityID string) (int, bool) {
 func (s *storeBase) EntityID(row int) string { return s.ids[row] }
 func (s *storeBase) Seq(row int) uint64      { return s.seqs[row] }
 func (s *storeBase) Lineage(row int) []int32 { return s.lineage[row] }
+func (s *storeBase) Dict() *stringDict       { return s.dict }
 
 // appendIdentity registers a new row's identity bookkeeping and returns
 // its index; the concrete store appends the column cells.

@@ -33,19 +33,29 @@ package engine
 // Segment file layout (all offsets page-aligned, pageSize = 4096):
 //
 //	header page:
-//	  magic "UUSEGv1\x00"        [8]byte
+//	  magic "UUSEGv2\x00"        [8]byte (v1 files are still readable)
 //	  endian tag                  uint64 (native order; must read back as
 //	                              segEndianTag on the serving host)
 //	  nrows, ncols                uint64, uint64
 //	  per column (ncols entries):
 //	    kind                      uint64 (ColumnType)
 //	    dataOff, dataLen          uint64 x2
-//	    auxOff, auxLen            uint64 x2 (string blob; zero otherwise)
+//	    auxOff, auxLen            uint64 x2 (string dictionary; zero otherwise)
 //	    defOff, valOff            uint64 x2 (packed bitmap words)
 //	sections, in TOC order, each starting on a page boundary:
-//	  FLOAT data:  nrows x float64   STRING data: (nrows+1) x uint32 offsets
-//	  BOOL data:   nrows x byte      STRING aux:  concatenated bytes
+//	  FLOAT data:  nrows x float64   STRING data: nrows x uint32 codes
+//	  BOOL data:   nrows x byte      STRING aux:  dictionary (below)
 //	  defined/valid: ceil(nrows/64) x uint64
+//
+// v2 string columns are dictionary-encoded: the data section holds one
+// uint32 code per row and the aux section holds the segment-local
+// dictionary — cardinality (uint64, native order), then (card+1) uint32
+// offsets, then the concatenated unique strings in ASCENDING order. The
+// sort is load-bearing: segment code order IS string order, so the
+// word-at-a-time predicate kernels run on segment extents with the
+// identity rank (no lookaside). v1 files (per-row offset+blob layout,
+// magic "UUSEGv1\x00") are still parsed and served through the per-row
+// scalar path; they are rewritten to v2 by the next compaction.
 
 import (
 	"encoding/binary"
@@ -53,6 +63,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 	"unsafe"
 
@@ -60,11 +71,12 @@ import (
 )
 
 const (
-	segMagic     = "UUSEGv1\x00"
+	segMagicV1   = "UUSEGv1\x00"
+	segMagic     = "UUSEGv2\x00"
 	segPageSize  = 4096
 	segEndianTag = 0x0102030405060708
-	// maxSegStringBlob bounds one segment's string blob so uint32 offsets
-	// cannot wrap.
+	// maxSegStringBlob bounds one segment's string dictionary blob so
+	// uint32 offsets cannot wrap.
 	maxSegStringBlob = 1<<32 - 1
 	// defaultSegmentRows is the seal threshold when StorageConfig leaves
 	// SegmentRows zero.
@@ -128,15 +140,20 @@ func newDiskStore(cfg StorageConfig, schema Schema, dir string, shardIdx int) (*
 		useMmap:      mmapAvailable && !cfg.DisableMmap,
 		durable:      cfg.Durable,
 		compactEvery: resolvedCompactEvery(cfg.CompactSegments),
-		tail:         newTailCols(schema),
 	}
+	d.tail = newTailCols(schema, d.dict)
 	return d, nil
 }
 
-func newTailCols(schema Schema) []colVector {
+// newTailCols builds a fresh colVector set for the schema, wiring string
+// columns to dict (the shard dictionary; compaction passes a local one).
+func newTailCols(schema Schema, dict *stringDict) []colVector {
 	tail := make([]colVector, len(schema))
 	for ci, c := range schema {
 		tail[ci].typ = c.Type
+		if c.Type == TypeString {
+			tail[ci].dict = dict
+		}
 	}
 	return tail
 }
@@ -230,24 +247,12 @@ func (d *diskStore) seal() error {
 	if n == 0 {
 		return nil
 	}
-	// The format stores string offsets as uint32: a tail whose blob would
-	// overflow them must stay in memory (fail safe) rather than seal a
-	// segment with wrapped offsets. Unreachable at sane SegmentRows, but
-	// seal() writes whole tails, and a huge batch makes tails unbounded.
-	for ci, c := range d.schema {
-		if c.Type != TypeString {
-			continue
-		}
-		blob := 0
-		for _, s := range d.tail[ci].strs[:n] {
-			blob += len(s)
-		}
-		if blob > maxSegStringBlob {
-			return fmt.Errorf("engine: shard segment string column %q too large to seal (%d bytes)", c.Name, blob)
-		}
+	dicts, err := planSegDicts(d.schema, d.tail, n)
+	if err != nil {
+		return err
 	}
 	path := filepath.Join(d.dir, segFileName(d.shardIdx, d.nextSegID))
-	raw := buildSegmentBytes(d.schema, d.tail, n)
+	raw := buildSegmentBytes(d.schema, d.tail, n, dicts)
 	if err := d.writeSegmentFile(path, raw); err != nil {
 		return fmt.Errorf("engine: sealing shard segment: %w", err)
 	}
@@ -259,9 +264,31 @@ func (d *diskStore) seal() error {
 	d.nextSegID++
 	d.segs = append(d.segs, seg)
 	d.sealed += n
-	d.tail = newTailCols(d.schema)
+	d.tail = newTailCols(d.schema, d.dict)
 	d.view.Store(nil)
 	return nil
+}
+
+// planSegDicts plans the segment-local dictionary of every string column
+// (nil entries otherwise). The format stores dictionary offsets as
+// uint32: a column whose unique strings exceed the blob bound must stay
+// in memory (fail safe) rather than seal a segment with wrapped offsets.
+// Unreachable at sane SegmentRows, but seal() writes whole tails, and a
+// huge batch makes tails unbounded.
+func planSegDicts(schema Schema, cols []colVector, n int) ([]*segDict, error) {
+	dicts := make([]*segDict, len(schema))
+	for ci, c := range schema {
+		if c.Type != TypeString {
+			continue
+		}
+		sd := planSegDict(cols[ci].codes[:n], cols[ci].dict.valsView())
+		if sd.blob > maxSegStringBlob {
+			return nil, fmt.Errorf("engine: %w: string column %q too large to seal (%d dictionary bytes)",
+				ErrSegmentLimit, c.Name, sd.blob)
+		}
+		dicts[ci] = sd
+	}
+	return dicts, nil
 }
 
 func segFileName(shardIdx, segID int) string {
@@ -417,6 +444,44 @@ func checkStagedConsistentBoxed(s ShardStore, schema Schema, row int, c *obsChun
 
 // --- segment encoding ---
 
+// segDict is the plan for one string column's segment-local dictionary:
+// the distinct strings the rows actually reference, sorted ascending, and
+// the remap from shard-dictionary codes to segment codes. remap is only
+// meaningful at codes present in the planned rows.
+type segDict struct {
+	remap      []uint32 // shard (or source-local) code -> segment code
+	sortedVals []string // referenced strings, ascending
+	blob       int      // total bytes of sortedVals
+}
+
+// planSegDict collects the codes of ALL n rows — including the
+// dictEmptyCode placeholders of rows the bitmaps exclude — so every cell
+// of the written code vector remaps to a valid segment code (the kernels
+// translate whole words before masking, exactly like the live path).
+func planSegDict(codes []uint32, vals []string) *segDict {
+	used := make([]bool, len(vals))
+	for _, c := range codes {
+		used[c] = true
+	}
+	order := make([]uint32, 0, 64)
+	for c, u := range used {
+		if u {
+			order = append(order, uint32(c))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+	sd := &segDict{
+		remap:      make([]uint32, len(vals)),
+		sortedVals: make([]string, len(order)),
+	}
+	for sc, c := range order {
+		sd.remap[c] = uint32(sc)
+		sd.sortedVals[sc] = vals[c]
+		sd.blob += len(vals[c])
+	}
+	return sd
+}
+
 // segHeaderSize returns the byte size of the header block before padding.
 func segHeaderSize(ncols int) int {
 	return 8 + 8 + 8 + 8 + ncols*(8+6*8)
@@ -437,7 +502,7 @@ type segTOC struct {
 }
 
 // segLayout computes the TOC and total file size for a tail of n rows.
-func segLayout(schema Schema, tail []colVector, n int) ([]segTOC, int) {
+func segLayout(schema Schema, n int, dicts []*segDict) ([]segTOC, int) {
 	toc := make([]segTOC, len(schema))
 	off := pageAlign(segHeaderSize(len(schema)))
 	bmLen := segWords(n) * 8
@@ -449,12 +514,9 @@ func segLayout(schema Schema, tail []colVector, n int) ([]segTOC, int) {
 		case TypeFloat:
 			t.dataLen = n * 8
 		case TypeString:
-			t.dataLen = (n + 1) * 4
-			blob := 0
-			for _, s := range tail[ci].strs[:n] {
-				blob += len(s)
-			}
-			t.auxLen = blob
+			t.dataLen = n * 4
+			sd := dicts[ci]
+			t.auxLen = 8 + (len(sd.sortedVals)+1)*4 + sd.blob
 		case TypeBool:
 			t.dataLen = n
 		}
@@ -474,8 +536,9 @@ func segLayout(schema Schema, tail []colVector, n int) ([]segTOC, int) {
 // buildSegmentBytes serializes the first n tail rows into the segment
 // format. The header is little-endian; data sections are native-order
 // (guarded by the endian tag) so they can be reinterpreted in place.
-func buildSegmentBytes(schema Schema, tail []colVector, n int) []byte {
-	toc, size := segLayout(schema, tail, n)
+// dicts holds the planned segment dictionaries (planSegDicts).
+func buildSegmentBytes(schema Schema, tail []colVector, n int, dicts []*segDict) []byte {
+	toc, size := segLayout(schema, n, dicts)
 	raw := make([]byte, size)
 
 	// Header.
@@ -508,15 +571,24 @@ func buildSegmentBytes(schema Schema, tail []colVector, n int) []byte {
 		case TypeFloat:
 			copy(raw[t.dataOff:t.dataOff+t.dataLen], floatBytes(col.floats[:n]))
 		case TypeString:
-			offs := unsafe.Slice((*uint32)(unsafe.Pointer(&raw[t.dataOff])), n+1)
-			blob := raw[t.auxOff:t.auxOff]
+			sd := dicts[ci]
+			if n > 0 {
+				codes := unsafe.Slice((*uint32)(unsafe.Pointer(&raw[t.dataOff])), n)
+				for i, c := range col.codes[:n] {
+					codes[i] = sd.remap[c]
+				}
+			}
+			card := len(sd.sortedVals)
+			hostOrder.PutUint64(raw[t.auxOff:t.auxOff+8], uint64(card))
+			offs := unsafe.Slice((*uint32)(unsafe.Pointer(&raw[t.auxOff+8])), card+1)
+			bp := t.auxOff + 8 + (card+1)*4
 			pos := uint32(0)
-			for i, s := range col.strs[:n] {
+			for i, s := range sd.sortedVals {
 				offs[i] = pos
-				blob = append(blob, s...)
+				copy(raw[bp+int(pos):], s)
 				pos += uint32(len(s))
 			}
-			offs[n] = pos
+			offs[card] = pos
 		case TypeBool:
 			dst := raw[t.dataOff : t.dataOff+n]
 			for i, b := range col.bools[:n] {
@@ -605,7 +677,12 @@ func openSegment(path string, schema Schema, base int, useMmap bool) (*segment, 
 }
 
 func parseSegment(path string, schema Schema, base int, data []byte, size int) (*segment, error) {
-	if string(data[0:8]) != segMagic {
+	var v1 bool
+	switch string(data[0:8]) {
+	case segMagic:
+	case segMagicV1:
+		v1 = true
+	default:
 		return nil, fmt.Errorf("segment %s: bad magic", path)
 	}
 	if hostOrder.Uint64(data[8:16]) != segEndianTag {
@@ -652,16 +729,60 @@ func parseSegment(path string, schema Schema, base int, data []byte, size int) (
 				e.floats = unsafe.Slice((*float64)(unsafe.Pointer(&data[dataOff])), nrows)
 			}
 		case TypeString:
-			if dataLen < (nrows+1)*4 {
-				return nil, fmt.Errorf("segment %s: column %d offset section too short", path, ci)
-			}
-			if nrows >= 0 {
+			if v1 {
+				// v1: per-row offsets into a raw concatenated blob. Served
+				// zero-copy through the scalar string path; no codes, so the
+				// word kernels never touch these extents.
+				if dataLen < (nrows+1)*4 {
+					return nil, fmt.Errorf("segment %s: column %d offset section too short", path, ci)
+				}
 				e.strOff = unsafe.Slice((*uint32)(unsafe.Pointer(&data[dataOff])), nrows+1)
+				e.strBlob = data[auxOff : auxOff+auxLen]
+				if int(e.strOff[nrows]) > auxLen {
+					return nil, fmt.Errorf("segment %s: column %d string blob overrun", path, ci)
+				}
+				break
 			}
-			e.strBlob = data[auxOff : auxOff+auxLen]
-			if int(e.strOff[nrows]) > auxLen {
-				return nil, fmt.Errorf("segment %s: column %d string blob overrun", path, ci)
+			// v2: per-row codes plus a sorted segment dictionary. Codes are
+			// reinterpreted in place (the row-proportional bulk); the
+			// dictionary — small by construction — is materialized eagerly so
+			// extent strings never alias the mapping.
+			if dataLen < nrows*4 {
+				return nil, fmt.Errorf("segment %s: column %d code section too short", path, ci)
 			}
+			if nrows > 0 {
+				e.codes = unsafe.Slice((*uint32)(unsafe.Pointer(&data[dataOff])), nrows)
+			}
+			if auxLen < 8 {
+				return nil, fmt.Errorf("segment %s: column %d dictionary section too short", path, ci)
+			}
+			card := int(hostOrder.Uint64(data[auxOff : auxOff+8]))
+			if card < 0 || auxLen < 8+(card+1)*4 {
+				return nil, fmt.Errorf("segment %s: column %d dictionary cardinality %d out of bounds", path, ci, card)
+			}
+			offs := unsafe.Slice((*uint32)(unsafe.Pointer(&data[auxOff+8])), card+1)
+			blob := data[auxOff+8+(card+1)*4 : auxOff+auxLen]
+			if int(offs[card]) > len(blob) {
+				return nil, fmt.Errorf("segment %s: column %d dictionary blob overrun", path, ci)
+			}
+			dict := make([]string, card)
+			for i := range dict {
+				if offs[i] > offs[i+1] {
+					return nil, fmt.Errorf("segment %s: column %d dictionary offsets not monotonic", path, ci)
+				}
+				dict[i] = string(blob[offs[i]:offs[i+1]])
+				if i > 0 && dict[i] <= dict[i-1] {
+					// The identity-rank contract: segment code order IS
+					// string order, which the kernels rely on.
+					return nil, fmt.Errorf("segment %s: column %d dictionary not strictly sorted", path, ci)
+				}
+			}
+			for _, c := range e.codes {
+				if int(c) >= card {
+					return nil, fmt.Errorf("segment %s: column %d code %d out of dictionary range %d", path, ci, c, card)
+				}
+			}
+			e.dict = dict
 		case TypeBool:
 			if dataLen < nrows {
 				return nil, fmt.Errorf("segment %s: column %d bool section too short", path, ci)

@@ -145,12 +145,16 @@ func TestDiskMmapVsFallbackParity(t *testing.T) {
 // failed seal is non-fatal — this test targets the parser directly).
 func TestDiskSegmentFormatErrors(t *testing.T) {
 	schema := Schema{{Name: "v", Type: TypeFloat}, {Name: "s", Type: TypeString}}
-	tail := newTailCols(schema)
+	tail := newTailCols(schema, newStringDict())
 	tail[0].appendRow(sqlparse.Number(1.5), true)
 	tail[1].appendRow(sqlparse.StringValue("hello"), true)
 	tail[0].appendRow(sqlparse.Null(), true)
 	tail[1].appendRow(sqlparse.Value{}, false)
-	raw := buildSegmentBytes(schema, tail, 2)
+	dicts, err := planSegDicts(schema, tail, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := buildSegmentBytes(schema, tail, 2, dicts)
 
 	dir := t.TempDir()
 	write := func(name string, b []byte) string {

@@ -26,6 +26,9 @@ func newMemStore(schema Schema) *memStore {
 	m := &memStore{storeBase: newStoreBase(), cols: make([]colVector, len(schema))}
 	for ci, c := range schema {
 		m.cols[ci].typ = c.Type
+		if c.Type == TypeString {
+			m.cols[ci].dict = m.dict
+		}
 	}
 	return m
 }
@@ -35,11 +38,14 @@ func newMemStore(schema Schema) *memStore {
 // all; valid marks rows holding a non-NULL value. The distinction preserves
 // the engine's historical predicate semantics: referencing a column a
 // record never provided is an error, while a provided NULL just fails the
-// comparison. Also reused as the disk backend's in-memory tail.
+// comparison. String columns store uint32 codes into the shard's dict
+// (rows without a value hold dictEmptyCode so every cell stays a valid
+// index). Also reused as the disk backend's in-memory tail.
 type colVector struct {
 	typ     ColumnType
 	floats  []float64
-	strs    []string
+	codes   []uint32
+	dict    *stringDict // string columns only: the owning shard's dictionary
 	bools   []bool
 	defined bitmap
 	valid   bitmap
@@ -58,12 +64,12 @@ func (c *colVector) appendRow(v sqlparse.Value, provided bool) {
 		}
 		c.floats = append(c.floats, x)
 	case TypeString:
-		row = len(c.strs)
-		var x string
+		row = len(c.codes)
+		x := dictEmptyCode
 		if provided && v.Kind == sqlparse.ValueString {
-			x = v.Str
+			x = c.dict.intern(v.Str)
 		}
-		c.strs = append(c.strs, x)
+		c.codes = append(c.codes, x)
 	case TypeBool:
 		row = len(c.bools)
 		var x bool
@@ -95,7 +101,7 @@ func (c *colVector) value(row int) (v sqlparse.Value, ok bool) {
 	case TypeFloat:
 		return sqlparse.Number(c.floats[row]), true
 	case TypeString:
-		return sqlparse.StringValue(c.strs[row]), true
+		return sqlparse.StringValue(c.dict.valsView()[c.codes[row]]), true
 	default:
 		return sqlparse.BoolValue(c.bools[row]), true
 	}
@@ -105,15 +111,22 @@ func (c *colVector) value(row int) (v sqlparse.Value, ok bool) {
 // row base (base 0 for memStore; the sealed-row offset for the disk
 // tail).
 func (c *colVector) liveExtent(base, n int) colExtent {
-	return colExtent{
+	e := colExtent{
 		base:    base,
 		n:       n,
 		floats:  c.floats,
-		strs:    c.strs,
+		codes:   c.codes,
 		bools:   c.bools,
 		defined: bitsView{words: c.defined.words},
 		valid:   bitsView{words: c.valid.words},
 	}
+	if c.dict != nil {
+		// Capture the code -> string table at view-build time: the dictionary
+		// is append-only, so this snapshot covers every code the extent holds.
+		e.dict = c.dict.valsView()
+		e.sdict = c.dict
+	}
+	return e
 }
 
 func (m *memStore) Value(row, ci int) (sqlparse.Value, bool) {
@@ -198,7 +211,7 @@ func appendStagedCell(col *colVector, sc *stagedCol, srcRow, dstRow int) {
 	case TypeFloat:
 		col.floats = append(col.floats, sc.floats[srcRow])
 	case TypeString:
-		col.strs = append(col.strs, sc.strs[srcRow])
+		col.codes = append(col.codes, sc.codes[srcRow])
 	case TypeBool:
 		col.bools = append(col.bools, sc.bools[srcRow])
 	}
@@ -240,7 +253,9 @@ func checkStagedConsistentMem(cols []colVector, schema Schema, row int, c *obsCh
 		case TypeFloat:
 			equal = sc.floats[srcRow] == col.floats[row]
 		case TypeString:
-			equal = sc.strs[srcRow] == col.strs[row]
+			// Staged codes come from the same shard dictionary the live
+			// column indexes, so string equality is exactly code equality.
+			equal = sc.codes[srcRow] == col.codes[row]
 		case TypeBool:
 			equal = sc.bools[srcRow] == col.bools[row]
 		}

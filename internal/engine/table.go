@@ -429,9 +429,16 @@ func (t *Table) SetScanCacheLimits(maxPrograms, maxBitmapBytes, maxPartialBytes 
 }
 
 // CacheStats snapshots the table's compiled-filter and selection-bitmap
-// cache counters.
+// cache counters, plus the string-dictionary footprint (cardinality and
+// resident bytes summed over the table's shards).
 func (t *Table) CacheStats() CacheStats {
-	return t.cache.stats()
+	s := t.cache.stats()
+	for _, sh := range t.shards {
+		entries, bytes := sh.store.Dict().stats()
+		s.DictEntries += entries
+		s.DictBytes += bytes
+	}
+	return s
 }
 
 // Schema returns the table schema.
@@ -1239,16 +1246,51 @@ func (t *Table) scanShardGrouped(sh *shard, si, attrCol, groupCol int, key strin
 	}
 	defer cleanup()
 	groupCV := &v.cols[groupCol]
+	// Dictionary fast path for string group columns: kept rows arrive in
+	// ascending order, so the group extent advances monotonically, and
+	// within a dictionary extent groups resolve through a dense
+	// code-indexed table — the per-row key rendering (an allocation) and
+	// map hash only run once per distinct code per extent.
+	var (
+		gExt   *colExtent
+		gEnd   int
+		byCode []*groupPart
+	)
 	keep := func(row int, value float64) {
-		gk, ok := groupCV.value(row)
-		if !ok {
-			gk = sqlparse.Null()
+		if row >= gEnd {
+			gExt, _ = groupCV.extentAt(row)
+			gEnd = gExt.base + gExt.n
+			byCode = nil
+			if gExt.codes != nil {
+				byCode = make([]*groupPart, len(gExt.dict))
+			}
 		}
-		keyStr := groupKeyString(gk)
-		gp, exists := groups[keyStr]
-		if !exists {
-			gp = &groupPart{key: gk}
-			groups[keyStr] = gp
+		var gp *groupPart
+		if i := row - gExt.base; byCode != nil && gExt.defined.get(i) && gExt.valid.get(i) {
+			c := gExt.codes[i]
+			gp = byCode[c]
+			if gp == nil {
+				gk := sqlparse.StringValue(gExt.dict[c])
+				keyStr := groupKeyString(gk)
+				gp = groups[keyStr]
+				if gp == nil {
+					gp = &groupPart{key: gk}
+					groups[keyStr] = gp
+				}
+				byCode[c] = gp
+			}
+		} else {
+			gk, ok := groupCV.value(row)
+			if !ok {
+				gk = sqlparse.Null()
+			}
+			keyStr := groupKeyString(gk)
+			var exists bool
+			gp, exists = groups[keyStr]
+			if !exists {
+				gp = &groupPart{key: gk}
+				groups[keyStr] = gp
+			}
 		}
 		appendViewRow(&gp.part, v, row, value)
 	}

@@ -47,6 +47,8 @@ func httpError(err error) (int, string) {
 		return http.StatusConflict, "table_exists"
 	case errors.Is(err, engine.ErrConflict):
 		return http.StatusConflict, "value_conflict"
+	case errors.Is(err, engine.ErrSegmentLimit):
+		return http.StatusConflict, "segment_limit"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable, "canceled"
 	default:
@@ -504,6 +506,8 @@ type tableStats struct {
 	StagedRows   int    `json:"staged_rows"`
 	AppliedRows  uint64 `json:"applied_rows"`
 	Batches      uint64 `json:"batches"`
+	DictEntries  int    `json:"dict_entries"`
+	DictBytes    int64  `json:"dict_bytes"`
 }
 
 type tenantStats struct {
@@ -545,6 +549,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			ist := tbl.IngestStats()
+			cst := tbl.CacheStats()
 			ts.Tables[tn] = tableStats{
 				Records:      tbl.NumRecords(),
 				Observations: tbl.NumObservations(),
@@ -553,6 +558,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				StagedRows:   ist.StagedRows,
 				AppliedRows:  ist.AppliedRows,
 				Batches:      ist.Batches,
+				DictEntries:  cst.DictEntries,
+				DictBytes:    cst.DictBytes,
 			}
 		}
 		t.catalog.RUnlock()

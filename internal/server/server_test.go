@@ -258,6 +258,13 @@ func TestErrorMapping(t *testing.T) {
 		t.Errorf("duplicate table: status %d kind %q", resp.StatusCode, er.Kind)
 	}
 
+	// Segment-limit seal failures -> 409 segment_limit. Classified via
+	// the mapper directly: provoking a dictionary too large to seal
+	// through HTTP would need gigabytes of distinct strings.
+	if status, kind := httpError(fmt.Errorf("seal: %w", engine.ErrSegmentLimit)); status != http.StatusConflict || kind != "segment_limit" {
+		t.Errorf("segment limit: status %d kind %q", status, kind)
+	}
+
 	// Conflicting values -> 409 value_conflict, rows still landed.
 	conflict := `{"entity": "e1", "source": "sA", "attrs": {"v": 1}}` + "\n" +
 		`{"entity": "e1", "source": "sB", "attrs": {"v": 2}}` + "\n"

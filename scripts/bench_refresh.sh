@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_refresh.sh — refresh the committed BENCH_MULTICORE.json from a
+# hosted-runner bench-compare artifact, replacing the 1-CPU dev-container
+# record with real multi-core numbers (the ROADMAP "honest multi-core
+# perf trajectory" item).
+#
+# Usage:
+#   scripts/bench_refresh.sh <new.txt> [note]
+#
+#   <new.txt>  the HEAD-side benchmark output from a merged PR's
+#              bench-compare CI artifact (bench-compare/new.txt)
+#   [note]     provenance note; defaults to date + source file. Include
+#              the runner class and the merged commit when you have them.
+#
+# Environment knobs:
+#   BENCH_REFRESH_OUT  output JSON (default BENCH_MULTICORE.json)
+#
+# The artifact already carries goos/goarch/cpu/pkg header lines, which
+# `benchgate record` folds into the JSON alongside per-benchmark medians.
+# Commit the refreshed file; the README "Benchmark record" section points
+# at it.
+set -euo pipefail
+
+IN="${1:-}"
+if [ -z "$IN" ]; then
+    echo "usage: $0 <bench-compare/new.txt> [note]" >&2
+    exit 2
+fi
+if [ ! -r "$IN" ]; then
+    echo "bench-refresh: cannot read $IN" >&2
+    exit 1
+fi
+if ! grep -q '^Benchmark' "$IN"; then
+    echo "bench-refresh: $IN does not look like 'go test -bench' output (no Benchmark lines)" >&2
+    exit 1
+fi
+
+OUT="${BENCH_REFRESH_OUT:-BENCH_MULTICORE.json}"
+NOTE="${2:-refreshed $(date +%F) from bench-compare artifact $(basename "$IN")}"
+
+go run ./cmd/benchgate record -in "$IN" -out "$OUT" -note "$NOTE"
+
+echo "bench-refresh: wrote $OUT"
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    git --no-pager diff --stat -- "$OUT" || true
+fi
